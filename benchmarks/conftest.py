@@ -1,0 +1,48 @@
+"""Shared helpers for the figure-regenerating benchmarks.
+
+Every benchmark (a) re-runs the full sweep behind one of the paper's
+figures, (b) prints the regenerated series next to the paper's claim, and
+(c) asserts the claim's *shape* (who wins, by roughly what factor, where
+the crossovers fall).  Timings come from pytest-benchmark; since one
+sweep is already a replicated experiment, each bench runs a single round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import ascii_chart, format_table, shape_summary
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.scenarios import get_scenario
+
+
+@pytest.fixture
+def run_figure(benchmark, capsys):
+    """Run one scenario under the benchmark timer and print its report."""
+
+    def runner(name: str, seeds: int | None = None,
+               chart: bool = False) -> SweepResult:
+        spec = get_scenario(name)
+        result = benchmark.pedantic(
+            lambda: run_sweep(spec, seeds=seeds), rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print("=" * 78)
+            print(format_table(result, baseline="nothing"
+                               if "nothing" in result.series else None))
+            if "nothing" in result.series:
+                print()
+                print(shape_summary(result, baseline="nothing"))
+            if chart:
+                print()
+                print(ascii_chart(result))
+            print("=" * 78)
+        return result
+
+    return runner
+
+
+def middle_band(result: SweepResult, lo: float = 0.25,
+                hi: float = 0.8) -> "list[int]":
+    """Indices of x values inside the moderately-dynamic band."""
+    return [i for i, x in enumerate(result.x_values) if lo <= x <= hi]

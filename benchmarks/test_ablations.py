@@ -1,0 +1,48 @@
+"""Ablation benches for the Section 4.1 policy parameters.
+
+The paper motivates each knob qualitatively; these sweeps quantify them
+one at a time on a fixed environment.
+"""
+
+
+def test_ablation_payback_threshold(run_figure):
+    """Smaller payback thresholds = more risk-aversion (fewer swaps)."""
+    result = run_figure("ablation-payback", seeds=4)
+    swap = result.series["swap"]
+    # Swap volume grows (weakly) with a more permissive threshold.
+    assert swap.swap_counts[0] <= swap.swap_counts[-1]
+    # A strict threshold never performs dramatically worse than NOTHING.
+    ratios = result.ratio_to("swap")
+    assert ratios[0] < 1.3
+
+
+def test_ablation_history_window(run_figure):
+    """More history damps swap frequency."""
+    result = run_figure("ablation-history", seeds=4)
+    swap = result.series["swap"]
+    assert swap.swap_counts[-1] <= swap.swap_counts[0]
+    # In this fairly dynamic environment (d=0.7) some damping helps or at
+    # least does not hurt much: the best window is not the largest one
+    # necessarily, but the undamped extreme should not dominate all.
+    ratios = result.ratio_to("swap")
+    assert min(ratios) <= ratios[0] + 1e-9
+
+
+def test_ablation_min_improvement(run_figure):
+    """Higher minimum process improvement = swapping stiction."""
+    result = run_figure("ablation-improvement", seeds=4)
+    swap = result.series["swap"]
+    assert swap.swap_counts[-1] <= swap.swap_counts[0]
+    # At an absurd 80% threshold swapping (almost) never triggers, so the
+    # makespan approaches NOTHING's.
+    ratios = result.ratio_to("swap")
+    assert abs(ratios[-1] - 1.0) < 0.1
+
+
+def test_ablation_max_swaps_per_decision(run_figure):
+    """Allowing plural swaps per epoch ('processor(s)') must not hurt."""
+    result = run_figure("ablation-maxswaps", seeds=4)
+    ratios = result.ratio_to("swap")
+    # With 8 active processes, a cap of 1 exchange per epoch reacts more
+    # slowly than a cap of 8.
+    assert ratios[-1] <= ratios[0] + 0.05

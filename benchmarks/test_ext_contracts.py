@@ -1,0 +1,27 @@
+"""Extension: GrADS-style contract-gated swapping.
+
+The paper's conclusion mentions ongoing integration of process swapping
+into the GrADS architecture, whose contract monitor gates rescheduling.
+This bench compares every-iteration policy evaluation (the paper's
+runtime) against contract-triggered evaluation across dynamism.
+"""
+
+
+def test_ext_contracts(run_figure):
+    result = run_figure("ext-contracts", seeds=4)
+    every = result.ratio_to("swap-every-iter")
+    gated = result.ratio_to("swap-contract")
+
+    # The contract gate keeps most of the benefit in the moderate band...
+    assert min(gated) < 0.8
+    # ...but reacts more slowly than per-iteration evaluation, so it
+    # gives up part of the gain where the environment moves fast.
+    for e, g in zip(every, gated):
+        assert g >= e - 0.02
+
+    # Quiescent end: both inert and equal to each other.
+    assert abs(gated[0] - every[0]) < 0.01
+
+    # Both still beat NOTHING across the beneficial middle.
+    mid = [i for i, x in enumerate(result.x_values) if 0.2 <= x <= 0.7]
+    assert all(gated[i] < 0.95 for i in mid)

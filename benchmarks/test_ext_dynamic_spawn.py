@@ -1,0 +1,31 @@
+"""Extension: over-allocation vs MPI-2 dynamic process spawning.
+
+The paper flags over-allocation's fixed cost ("an over-allocation of 30
+processors adds approximately 20 seconds to the application startup
+time", hurting short runs) and points at MPI-2 dynamic process
+management as the fix.  This bench quantifies the trade-off by sweeping
+the application length.
+"""
+
+
+def test_ext_spawn(run_figure):
+    result = run_figure("ext-spawn", seeds=5)
+    overalloc = result.ratio_to("swap-overalloc")
+    spawn = result.ratio_to("swap-spawn")
+
+    # Short runs: over-allocation's 28 x 0.75 s of extra startup wipes
+    # out the benefit (the paper's Section 7.1 limitation)...
+    assert overalloc[0] > 0.97
+    # ...which dynamic spawning avoids.
+    assert spawn[0] < overalloc[0] - 0.03
+
+    # Long runs: the startup difference amortizes away; both designs
+    # deliver the same steady-state benefit.
+    assert abs(spawn[-1] - overalloc[-1]) < 0.03
+    assert overalloc[-1] < 0.75
+
+    # Spawning is never substantially worse than over-allocation here
+    # (its extra per-swap 0.75 s is tiny next to the 1 MB transfer +
+    # iteration times).
+    for s, o in zip(spawn, overalloc):
+        assert s < o + 0.03

@@ -1,0 +1,34 @@
+"""Extension: the four techniques under desktop-grid owner reclamation.
+
+The paper's Section 2 sketches (but does not evaluate) combining the
+swapping policies with Condor-style eviction: "a process might also be
+evicted and migrated for application performance reasons."  This bench
+realizes that study: workstation owners reclaim their machines for
+10-minute sessions; a revoked guest process receives at most 2% of the
+CPU until it migrates or the owner leaves.
+"""
+
+
+def test_ext_eviction(run_figure):
+    result = run_figure("ext-eviction", seeds=4)
+    swap = result.ratio_to("swap-greedy")
+    cr = result.ratio_to("cr")
+    dlb = result.ratio_to("dlb")
+    nothing = result.mean_of("nothing")
+
+    # NOTHING collapses as reclamations grow: stalled processes dominate.
+    assert nothing[-1] > 4.0 * nothing[0]
+
+    # Swapping absorbs reclamations: its advantage *grows* with presence.
+    assert swap[-1] < swap[0]
+    assert min(swap) < 0.5
+
+    # Migration-capable techniques (SWAP, CR) beat pure rebalancing (DLB)
+    # once reclamation is common: DLB is stuck feeding crumbs to revoked
+    # hosts it can never leave.
+    assert swap[-1] < dlb[-1]
+    assert cr[-1] < dlb[-1]
+
+    # Everyone still beats NOTHING everywhere with load present.
+    for series in (swap, cr, dlb):
+        assert all(r < 1.0 for r in series[1:])

@@ -1,0 +1,75 @@
+"""Extension: forecast accuracy of the NWS predictor bank.
+
+The paper's history-window parameter is a single fixed smoother; NWS
+(which the paper cites as its measurement substrate) instead races many
+methods online.  This bench measures each method's one-step-ahead MAE on
+availability series sampled from the paper's two load models, and checks
+that dynamic selection tracks the best single method.
+"""
+
+import numpy as np
+
+from repro.load.hyperexp import HyperexponentialLoadModel
+from repro.load.onoff import OnOffLoadModel
+from repro.nws.forecasting import ForecasterBank
+from repro.nws.sensors import CpuSensor
+from repro.platform.host import Host, HostSpec
+
+
+def availability_series(model, seed, horizon=20_000.0, period=10.0):
+    host = Host(HostSpec(name="h", speed=300e6, load_model=model),
+                np.random.default_rng(seed), horizon=horizon)
+    host.trace = model.build(np.random.default_rng(seed), horizon)
+    sensor = CpuSensor(host, period=period)
+    return sensor.sample_range(0.0, horizon).values
+
+
+def bank_study(model, n_seeds=4):
+    """Aggregate per-method MAE plus the bank winner's MAE."""
+    per_method: "dict[str, list[float]]" = {}
+    winner_maes = []
+    for seed in range(n_seeds):
+        bank = ForecasterBank()
+        for value in availability_series(model, seed):
+            bank.update(value)
+        for name, mae in bank.leaderboard():
+            per_method.setdefault(name, []).append(mae)
+        winner_maes.append(bank.leaderboard()[0][1])
+    summary = {name: float(np.mean(values))
+               for name, values in per_method.items()}
+    return summary, float(np.mean(winner_maes))
+
+
+def test_forecaster_bank_study(benchmark, capsys):
+    def run():
+        onoff = bank_study(OnOffLoadModel(p=0.05, q=0.05))
+        hyper = bank_study(HyperexponentialLoadModel(mean_lifetime=120.0,
+                                                     utilization=0.8))
+        return onoff, hyper
+
+    (onoff_summary, onoff_winner), (hyper_summary, hyper_winner) = (
+        benchmark.pedantic(run, rounds=1, iterations=1))
+
+    with capsys.disabled():
+        print()
+        print("=" * 70)
+        print("one-step-ahead MAE of CPU availability forecasts")
+        print(f"{'method':>16} | {'ON/OFF':>8} | {'hyperexp':>8}")
+        print("-" * 40)
+        for name in sorted(onoff_summary):
+            print(f"{name:>16} | {onoff_summary[name]:>8.4f} | "
+                  f"{hyper_summary[name]:>8.4f}")
+        print(f"{'bank winner':>16} | {onoff_winner:>8.4f} | "
+              f"{hyper_winner:>8.4f}")
+        print("=" * 70)
+
+    for summary, winner in ((onoff_summary, onoff_winner),
+                            (hyper_summary, hyper_winner)):
+        best_single = min(summary.values())
+        # Dynamic selection is within 20% of the best fixed method...
+        assert winner <= best_single * 1.2 + 1e-6
+        # ...and much better than the worst one.
+        assert winner < max(summary.values())
+
+    # Persistent ON/OFF load rewards reactive methods over long means.
+    assert onoff_summary["last"] < onoff_summary["running-mean"]

@@ -1,0 +1,42 @@
+"""Fig. 1: the payback-distance concept, measured from simulated runs.
+
+The figure shows application progress against time: the swap pauses the
+application (flat segment), then the steeper post-swap slope erases the
+cost; the time to catch the no-swap baseline is the payback distance.
+We regenerate it from two actual runs and check that the Section 5
+algebra predicts the observed catch-up point.
+"""
+
+import pytest
+
+from repro.experiments.illustrations import ascii_progress, fig1_payback
+
+
+def test_fig1(benchmark, capsys):
+    illustration = benchmark.pedantic(fig1_payback, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("=" * 78)
+        print(ascii_progress(illustration))
+        print(f"analytic payback distance: "
+              f"{illustration.analytic_payback_iterations:.2f} iterations "
+              f"(swap cost {illustration.swap_cost:.1f}s, iteration "
+              f"{illustration.old_iteration_time:.0f}s -> "
+              f"{illustration.new_iteration_time:.0f}s)")
+        print("=" * 78)
+
+    # The pause length equals the modelled swap cost.
+    start, end = illustration.swap_pause
+    assert end - start == pytest.approx(illustration.swap_cost, rel=0.05)
+
+    # The run catches the baseline, and does so within the analytic
+    # payback distance (rounded up to whole iterations: progress is
+    # compared at iteration boundaries).
+    assert illustration.empirical_payback_time is not None
+    import math
+    allowed = (end + (math.ceil(illustration.analytic_payback_iterations) + 1)
+               * illustration.new_iteration_time)
+    assert illustration.empirical_payback_time <= allowed
+
+    # Post-swap slope is steeper: new iteration time < old.
+    assert illustration.new_iteration_time < illustration.old_iteration_time

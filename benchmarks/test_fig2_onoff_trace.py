@@ -1,0 +1,36 @@
+"""Fig. 2: an example ON/OFF CPU load trace (p=0.3, q=0.08).
+
+Regenerates the exemplar trace and checks its statistics against the
+chain's analytics: stationary ON fraction p/(p+q), geometric ON dwell of
+step/q seconds, and the binary competing-process count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.illustrations import ascii_load_strip, fig2_onoff_trace
+from repro.load.stats import trace_stats
+
+
+def test_fig2(benchmark, capsys):
+    exemplar = benchmark.pedantic(fig2_onoff_trace, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("=" * 78)
+        print(f"Fig. 2 exemplar: {exemplar.description}")
+        print(ascii_load_strip(exemplar.trace, 0.0, exemplar.window))
+        print(exemplar.stats)
+        print("=" * 78)
+
+    # Binary load: 0 or 1 competing process.
+    assert exemplar.stats.max_load <= 1
+
+    # Long-run statistics (averaged over seeds) match the chain.
+    fractions, dwells = [], []
+    for seed in range(10):
+        trace = fig2_onoff_trace(seed=seed, window=50_000.0).trace
+        stats = trace_stats(trace, 0.0, 50_000.0)
+        fractions.append(stats.busy_fraction)
+        dwells.append(stats.mean_busy_interval)
+    assert np.mean(fractions) == pytest.approx(0.3 / 0.38, abs=0.05)
+    assert np.mean(dwells) == pytest.approx(10.0 / 0.08, rel=0.15)

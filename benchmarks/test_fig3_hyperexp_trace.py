@@ -1,0 +1,38 @@
+"""Fig. 3: an example hyperexponential CPU load trace.
+
+Unlike the ON/OFF exemplar, multiple competing processes may overlap and
+lifetimes are heavy-tailed (degenerate hyperexponential).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.illustrations import (
+    ascii_load_strip,
+    fig3_hyperexp_trace,
+)
+from repro.load.stats import trace_stats
+
+
+def test_fig3(benchmark, capsys):
+    exemplar = benchmark.pedantic(fig3_hyperexp_trace, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("=" * 78)
+        print(f"Fig. 3 exemplar: {exemplar.description}")
+        print(ascii_load_strip(exemplar.trace, 0.0, exemplar.window))
+        print(exemplar.stats)
+        print("=" * 78)
+
+    # Overlapping competing processes occur somewhere in the exemplars.
+    max_loads = [fig3_hyperexp_trace(seed=s, window=5_000.0).stats.max_load
+                 for s in range(6)]
+    assert max(max_loads) >= 2
+
+    # Long-run mean load converges to the offered utilization (M/G/inf
+    # insensitivity), here 1.2.
+    means = []
+    for seed in range(6):
+        trace = fig3_hyperexp_trace(seed=seed, window=100_000.0).trace
+        means.append(trace_stats(trace, 0.0, 100_000.0).mean_load)
+    assert np.mean(means) == pytest.approx(1.2, rel=0.2)

@@ -1,0 +1,37 @@
+"""Fig. 4: execution time of NOTHING / SWAP / DLB / CR vs environment
+dynamism (4 active of 32, 1 MB state).
+
+Paper shape: little difference at the quiescent left, convergence at the
+chaotic right, and in the moderately dynamic middle SWAP/DLB/CR beat
+NOTHING by up to ~40%; DLB does not perform well in dynamic environments.
+"""
+
+from conftest import middle_band
+
+
+def test_fig4(run_figure):
+    result = run_figure("fig4", seeds=5)
+    band = middle_band(result)
+
+    # Quiescent left: all four techniques within a few percent.
+    for name in ("swap-greedy", "dlb", "cr"):
+        assert abs(result.ratio_to(name)[0] - 1.0) < 0.05
+
+    # Moderately dynamic middle: adaptive techniques clearly win.
+    swap_band = [result.ratio_to("swap-greedy")[i] for i in band]
+    assert min(swap_band) < 0.75, "SWAP should gain >25% somewhere"
+    assert result.best_improvement("swap-greedy") > 0.25
+    assert result.best_improvement("cr") > 0.2
+    assert result.best_improvement("dlb") > 0.1
+
+    # DLB is the weakest adaptive technique in the dynamic band.
+    dlb_band = [result.ratio_to("dlb")[i] for i in band]
+    assert min(dlb_band) > min(swap_band), (
+        "DLB should not beat SWAP's best case")
+
+    # Chaotic right: SWAP no longer helps (converges, may slightly hurt).
+    assert result.ratio_to("swap-greedy")[-1] > 0.9
+
+    # NOTHING's execution time grows as the environment degrades.
+    nothing = result.mean_of("nothing")
+    assert max(nothing) > 1.5 * nothing[0]

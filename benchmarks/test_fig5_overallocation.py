@@ -1,0 +1,43 @@
+"""Fig. 5: execution time vs over-allocation (8 active processes,
+moderately dynamic environment, 1 MB state).
+
+Paper shape: SWAP and CR improve as spares are added, with substantial
+benefit needing ~100% over-allocation; DLB consistently outperforms
+NOTHING; at substantial over-allocation SWAP's gain roughly doubles
+DLB's; NOTHING/DLB improve only slightly (more initial-placement
+options).
+"""
+
+
+def test_fig5(run_figure):
+    result = run_figure("fig5", seeds=5)
+    swap = result.ratio_to("swap-greedy")
+    cr = result.ratio_to("cr")
+    dlb = result.ratio_to("dlb")
+
+    # Zero over-allocation: nothing to swap to, CR cannot move either.
+    assert swap[0] == 1.0
+    assert cr[0] == 1.0
+
+    # SWAP and CR improve with more spares (front vs back of the sweep).
+    assert min(swap[-2:]) < min(swap[:2]) - 0.05
+    assert min(cr[-2:]) < min(cr[:2])
+
+    # Substantial benefit arrives around 100% over-allocation.
+    idx_100 = result.x_values.index(100.0)
+    assert swap[idx_100] < 0.93
+
+    # DLB consistently beats NOTHING but barely changes with pool size.
+    assert all(r < 1.0 for r in dlb)
+    assert max(dlb) - min(dlb) < 0.15
+
+    # At substantial over-allocation SWAP's gain dwarfs DLB's (paper:
+    # "double the performance gain of DLB").
+    swap_gain = 1.0 - swap[-1]
+    dlb_gain = 1.0 - dlb[-1]
+    assert swap_gain > 1.5 * dlb_gain
+
+    # NOTHING itself drifts down only slightly (scheduler has options).
+    nothing = result.mean_of("nothing")
+    assert nothing[-1] < nothing[0]
+    assert nothing[-1] > 0.75 * nothing[0]

@@ -1,0 +1,37 @@
+"""Fig. 6: effect of process size on SWAP and CR (1 MB vs 1 GB state).
+
+Paper shape: NOTHING and DLB do not depend on process size.  SWAP and CR
+transition from beneficial at 1 MB to harmful at 1 GB, where the swap
+time exceeds the application iteration time ("the application spends all
+its time swapping, chasing an unobtainable performance").
+"""
+
+from conftest import middle_band
+
+
+def test_fig6(run_figure):
+    result = run_figure("fig6", seeds=4)
+    band = middle_band(result)
+
+    small_swap = result.ratio_to("swap-1MB")
+    small_cr = result.ratio_to("cr-1MB")
+    large_swap = result.ratio_to("swap-1GB")
+    large_cr = result.ratio_to("cr-1GB")
+
+    # 1 MB state: beneficial in the dynamic middle.
+    assert min(small_swap[i] for i in band) < 0.8
+    assert min(small_cr[i] for i in band) < 0.8
+
+    # 1 GB state: harmful wherever there is load to chase.
+    assert all(large_swap[i] > 1.0 for i in band)
+    assert all(large_cr[i] > 1.0 for i in band)
+    assert max(large_swap) > 2.0
+    assert max(large_cr) > 2.0
+
+    # At every dynamism level the 1 GB variant is no better than 1 MB.
+    for i in range(len(result.x_values)):
+        assert large_swap[i] >= small_swap[i] - 1e-9
+        assert large_cr[i] >= small_cr[i] - 1e-9
+
+    # Quiescent environment: state size is irrelevant (no swaps happen).
+    assert abs(large_swap[0] - small_swap[0]) < 0.02

@@ -1,0 +1,41 @@
+"""Fig. 7: the greedy / safe / friendly policies vs dynamism
+(4 active of 32, 100 MB state).
+
+Paper shape: greedy provides the largest boost; friendly "does
+surprisingly well in moderately chaotic environments, almost keeping
+pace with the greedy policy" but collapses in chaos; safe gains less but
+outperforms greedy in the most chaotic environments.
+"""
+
+from conftest import middle_band
+
+
+def test_fig7(run_figure):
+    result = run_figure("fig7", seeds=5)
+    band = middle_band(result)
+    greedy = result.ratio_to("swap-greedy")
+    safe = result.ratio_to("swap-safe")
+    friendly = result.ratio_to("swap-friendly")
+
+    # Greedy has the single largest gain of the three policies.
+    assert min(greedy) <= min(safe) + 1e-9
+    assert min(greedy) <= min(friendly) + 0.02
+    assert result.best_improvement("swap-greedy") > 0.15
+
+    # Friendly nearly keeps pace with greedy in the moderate band.
+    gap = max(friendly[i] - greedy[i] for i in band)
+    assert gap < 0.12
+
+    # ... but collapses in the most chaotic environments, as does greedy.
+    assert max(greedy[-2:]) > 1.1
+    assert max(friendly[-2:]) > 1.05
+
+    # Safe is risk-averse: never much worse than NOTHING anywhere...
+    assert max(safe) < 1.1
+    # ...and beats greedy at the chaotic end.
+    assert safe[-1] < greedy[-1]
+    assert safe[-2] < greedy[-2]
+
+    # Safe's benefit is real but smaller than greedy's in the middle.
+    assert min(safe[i] for i in band) < 1.0
+    assert min(safe[i] for i in band) > min(greedy[i] for i in band)

@@ -1,0 +1,35 @@
+"""Fig. 8: policies with a large (1 GB) process state, where the swap
+time is about twice the iteration time (2 active of 32).
+
+Paper shape: "When the process size becomes large, only the safe policy
+is appropriate."  Greedy (and friendly, in dynamic regimes) keep paying
+huge transfers for gains the environment revokes before they amortize --
+"the application spends all its time swapping".
+"""
+
+from conftest import middle_band
+
+
+def test_fig8(run_figure):
+    result = run_figure("fig8", seeds=5)
+    band = middle_band(result, lo=0.4, hi=0.85)
+    greedy = result.ratio_to("swap-greedy")
+    safe = result.ratio_to("swap-safe")
+    friendly = result.ratio_to("swap-friendly")
+
+    # Safe effectively refuses to swap: indistinguishable from NOTHING.
+    assert all(abs(r - 1.0) < 0.05 for r in safe)
+
+    # Greedy is harmful across the loaded portion of the sweep and
+    # catastrophically so somewhere.
+    assert all(greedy[i] > 1.0 for i in band)
+    assert max(greedy) > 2.0
+
+    # Friendly also thrashes once the environment is dynamic enough.
+    assert max(friendly[i] for i in band) > 1.2
+
+    # Safe is the best policy at every dynamic point -- the figure's
+    # headline.
+    for i in band:
+        assert safe[i] <= greedy[i]
+        assert safe[i] <= friendly[i]

@@ -1,0 +1,30 @@
+"""Fig. 9: the four techniques under the hyperexponential load model,
+swept over the mean competing-process lifetime (4 active of 32, 1 MB
+state).
+
+Paper shape: "swapping remains viable under this CPU load model.  In
+fact, the larger percentage of long-running jobs created under the
+hyperexponential model increases the dynamism range over which swapping
+is beneficial."
+"""
+
+
+def test_fig9(run_figure):
+    result = run_figure("fig9", seeds=5)
+    swap = result.ratio_to("swap-greedy")
+    cr = result.ratio_to("cr")
+    dlb = result.ratio_to("dlb")
+
+    # Swapping is beneficial across the *entire* lifetime sweep -- the
+    # heavy-tailed lifetimes always leave persistent load to escape.
+    assert all(r < 1.0 for r in swap)
+    assert result.best_improvement("swap-greedy") > 0.25
+
+    # CR tracks SWAP closely; both beat DLB's best.
+    assert all(r < 1.0 for r in cr)
+    assert min(swap) < min(dlb)
+
+    # NOTHING suffers most where lifetimes are short-but-heavy-tailed
+    # (many arrivals, some of which last very long).
+    nothing = result.mean_of("nothing")
+    assert nothing[0] > nothing[-1]

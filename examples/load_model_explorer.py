@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Explore the CPU load models and their effect on iteration times.
+
+Renders one trace from each load model (ON/OFF, aggregated ON/OFF,
+hyperexponential, replayed recording), prints its statistics, and shows
+how the same compute chunk stretches under each load signal -- the
+quantity every swapping decision ultimately reacts to.
+
+Run:  python examples/load_model_explorer.py [seed]
+"""
+
+import sys
+
+from repro.experiments.illustrations import ascii_load_strip
+from repro.load.base import ConstantLoadModel
+from repro.load.hyperexp import HyperexponentialLoadModel
+from repro.load.onoff import AggregatedOnOffLoadModel, OnOffLoadModel
+from repro.load.stats import trace_stats
+from repro.load.trace import ReplayLoadModel
+from repro.platform.host import Host, HostSpec
+from repro.simkernel.rng import RngRegistry
+
+WINDOW = 600.0
+SPEED = 300e6          # a mid-range paper workstation
+CHUNK = 0.5 * 60 * SPEED  # 30 s of dedicated compute
+
+
+def models(seed):
+    yield "dedicated workstation", ConstantLoadModel(0)
+    yield "ON/OFF (paper Fig. 2: p=0.3, q=0.08)", OnOffLoadModel(
+        p=0.3, q=0.08, step=10.0)
+    yield "3 aggregated ON/OFF sources", AggregatedOnOffLoadModel.homogeneous(
+        3, p=0.1, q=0.1)
+    yield "hyperexponential (paper Fig. 3)", HyperexponentialLoadModel(
+        mean_lifetime=60.0, utilization=1.2, branch_prob=0.3)
+    yield "replayed recording (cyclic)", ReplayLoadModel(
+        times=[0.0, 60.0, 90.0, 180.0, 240.0],
+        values=[0, 2, 1, 0, 1],
+        duration=300.0, cycle=True)
+
+
+def main():
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    registry = RngRegistry(seed)
+
+    for index, (title, model) in enumerate(models(seed)):
+        host = Host(HostSpec(name=f"ws{index}", speed=SPEED,
+                             load_model=model),
+                    registry.stream("explorer", index), horizon=WINDOW)
+        stats = trace_stats(host.trace, 0.0, WINDOW)
+        print("=" * 76)
+        print(f"{title}   [{model.describe()}]")
+        print(ascii_load_strip(host.trace, 0.0, WINDOW))
+        print(f"  mean load {stats.mean_load:.2f}  "
+              f"mean availability {stats.mean_availability:.2f}  "
+              f"busy {stats.busy_fraction:.0%}  "
+              f"transitions/min {stats.transition_rate * 60:.2f}")
+
+        # The same 30 s compute chunk, started every 2 minutes:
+        durations = [host.compute_time(t0, CHUNK)
+                     for t0 in (0.0, 120.0, 240.0, 360.0)]
+        rendered = ", ".join(f"{d:.1f}s" for d in durations)
+        print(f"  30s compute chunk started at t=0/120/240/360: {rendered}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Policy shootout: which swapping policy fits which regime?
+
+Sweeps the greedy / safe / friendly policies (Section 4.2 of the paper)
+over environment dynamism and over process state size, then prints a
+recommendation matrix.  This reproduces the qualitative takeaways of the
+paper's Figs. 7-8: greedy has the best upside and the worst downside;
+safe never hurts; friendly is a reasonable middle ground until the
+environment gets chaotic or the state gets heavy.
+
+Run:  python examples/policy_shootout.py [n_seeds]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.policy import friendly_policy, greedy_policy, safe_policy
+from repro.experiments.scenarios import DYNAMISM, EVALUATION_SPEED_RANGE
+from repro.app.workloads import paper_application
+from repro.platform.cluster import make_platform
+from repro.strategies.nothing import NothingStrategy
+from repro.strategies.swapstrat import SwapStrategy
+from repro.units import GB, KB, MB, format_bytes
+
+DYNAMISM_POINTS = (0.2, 0.5, 0.85)
+STATE_SIZES = (1 * MB, 100 * MB, 1 * GB)
+POLICIES = (greedy_policy, safe_policy, friendly_policy)
+
+
+def run_cell(dynamism, state_bytes, n_seeds):
+    """Mean makespan ratio vs NOTHING for each policy at one cell."""
+    ratios = {p().name: [] for p in POLICIES}
+    for seed in range(n_seeds):
+        platform = make_platform(32, DYNAMISM.model(dynamism), seed=seed,
+                                 speed_range=EVALUATION_SPEED_RANGE)
+        app = paper_application(n_processes=4, iterations=40,
+                                bytes_per_process=100 * KB,
+                                state_bytes=state_bytes)
+        baseline = NothingStrategy().run(platform, app).makespan
+        for policy_factory in POLICIES:
+            policy = policy_factory()
+            makespan = SwapStrategy(policy).run(platform, app).makespan
+            ratios[policy.name].append(makespan / baseline)
+    return {name: float(np.mean(values)) for name, values in ratios.items()}
+
+
+def main():
+    n_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    names = [p().name for p in POLICIES]
+
+    print("mean makespan relative to NOTHING (lower is better, "
+          f"{n_seeds} seeds per cell)")
+    print()
+    header = f"{'state / dynamism':>18} |" + "".join(
+        f"{f'd={d:g}':>26} |" for d in DYNAMISM_POINTS)
+    print(header)
+    sub = f"{'':>18} |" + "".join(
+        "".join(f"{n[:6]:>8}" for n in names) + "  |"
+        for _ in DYNAMISM_POINTS)
+    print(sub)
+    print("-" * len(header))
+
+    best = {}
+    for state in STATE_SIZES:
+        row = [f"{format_bytes(state):>18} |"]
+        for d in DYNAMISM_POINTS:
+            cell = run_cell(d, state, n_seeds)
+            best[(state, d)] = min(cell, key=cell.get)
+            row.append("".join(f"{cell[n]:>8.2f}" for n in names) + "  |")
+        print("".join(row))
+
+    print()
+    print("recommended policy per regime:")
+    for state in STATE_SIZES:
+        picks = ", ".join(f"d={d:g}: {best[(state, d)]}"
+                          for d in DYNAMISM_POINTS)
+        print(f"  state {format_bytes(state):>9}: {picks}")
+
+    print()
+    print("paper's guidance: greedy for maximum benefit when swaps are "
+          "cheap; safe when the")
+    print("process image is large or the environment chaotic; friendly "
+          "when sharing the")
+    print("platform with other applications matters.")
+
+
+if __name__ == "__main__":
+    main()

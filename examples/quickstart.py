@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the paper's four techniques on one platform.
+
+Builds a 32-workstation shared LAN with moderately dynamic ON/OFF load,
+runs the same iterative application under NOTHING, SWAP (greedy), DLB
+and CR, and prints what each technique achieved.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro import (
+    CrStrategy,
+    DlbStrategy,
+    NothingStrategy,
+    OnOffLoadModel,
+    SwapStrategy,
+    greedy_policy,
+    make_platform,
+    paper_application,
+)
+from repro.units import format_duration
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+
+    # The paper's environment: 32 time-shared workstations on a 6 MB/s
+    # LAN.  p/q give persistent load events on roughly half the hosts.
+    platform = make_platform(
+        n_hosts=32,
+        load_model_factory=OnOffLoadModel(p=0.015, q=0.02, step=10.0),
+        seed=seed,
+        speed_range=(250e6, 350e6),
+    )
+
+    # An iterative application: 4 processes, 50 iterations of ~1 minute,
+    # 1 MB of process state to move on a swap.
+    app = paper_application(n_processes=4, iterations=50)
+
+    print(f"platform : 32 hosts, seed {seed}")
+    print(f"app      : {app.describe()}")
+    print()
+
+    strategies = [
+        NothingStrategy(),
+        SwapStrategy(greedy_policy()),
+        DlbStrategy(),
+        CrStrategy(),
+    ]
+    results = {s.name: s.run(platform, app) for s in strategies}
+    baseline = results["nothing"].makespan
+
+    print(f"{'technique':>14} | {'makespan':>10} | {'vs NOTHING':>10} | "
+          f"{'swaps/restarts':>14} | {'overhead':>9}")
+    print("-" * 70)
+    for name, result in results.items():
+        events = result.swap_count + result.restart_count
+        print(f"{name:>14} | {format_duration(result.makespan):>10} | "
+              f"{result.makespan / baseline:>9.2f}x | {events:>14d} | "
+              f"{format_duration(result.overhead_time):>9}")
+
+    swap_result = results["swap-greedy"]
+    print()
+    print("swap timeline (iteration -> processor exchanges):")
+    for event in swap_result.progress.events:
+        if event.kind == "swap":
+            print(f"  t={event.time:8.1f}s  after iteration "
+                  f"{event.iterations_done:3d}: {event.detail}")
+    if swap_result.swap_count == 0:
+        print("  (the environment never warranted a swap)")
+
+    from repro.experiments.timeline import ascii_timeline
+    print()
+    print(ascii_timeline(swap_result, n_hosts=len(platform)))
+
+
+if __name__ == "__main__":
+    main()

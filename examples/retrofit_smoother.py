@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Retrofit a real iterative MPI code with process swapping.
+
+This is the paper's headline use case: take an existing iterative MPI
+application and make it swappable with three kinds of source changes --
+
+1. the import (the paper's ``#include "mpi_swap.h"``),
+2. ``swap.register(...)`` for the state to move on a swap,
+3. one ``swap.mpi_swap(...)`` call at the top of the iteration loop.
+
+The application here is a periodic 1-D upwind smoother: each of N
+processes owns a segment of a ring-shaped field and repeatedly relaxes
+it against the boundary value received from its left neighbour.  The
+numerics run for real (numpy), while compute *time* follows the host's
+simulated speed and external load.
+
+The demo runs the solver twice on identical platforms -- once with
+swapping enabled (greedy policy) and once with a policy that can never
+pass its gates -- and shows that (a) swapping preserves the numerical
+result bit-for-bit, because the state image travels with the work, and
+(b) it finishes substantially earlier once external load hits the
+original processors.
+
+Run:  python examples/retrofit_smoother.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.policy import greedy_policy, safe_policy
+from repro.load.base import LoadTrace
+from repro.load.onoff import OnOffLoadModel
+from repro.platform.cluster import make_platform
+from repro.swap.context import SwapContext          # change 1: the import
+from repro.swap.runtime import SwapRuntime
+from repro.units import MB, format_duration
+
+N_ACTIVE = 3
+N_HOSTS = 8
+ITERATIONS = 12
+CELLS_PER_PROCESS = 1_000
+CHUNK_FLOPS = 2.5e9          # ~10 s on an unloaded 250 MF/s workstation
+STATE_BYTES = 8 * MB
+
+
+def smoother_main(rank, swap: SwapContext):
+    """The retrofitted application: one MPI process of the smoother."""
+    swap.register("field", STATE_BYTES)               # change 2: register
+
+    iteration = 0
+    state = None  # lazily initialized below once we know our slot
+
+    while True:
+        iteration, state = yield from swap.mpi_swap(iteration, state)
+        # ^ change 3: the swap point.  Everything below is ordinary code.
+        if iteration is None:
+            return None                    # we are a spare; job finished
+        if iteration >= ITERATIONS:
+            yield from swap.finish()
+            return state
+        if state is None:
+            slot = swap.current_active.index(rank.world_rank)
+            rng = np.random.default_rng(slot)
+            state = {"field": rng.random(CELLS_PER_PROCESS), "slot": slot}
+
+        # Compute phase: simulated time tracks the host's effective
+        # speed; the numerics themselves are exact.
+        yield from rank.compute(CHUNK_FLOPS)
+        field = state["field"]
+        field[1:] = 0.5 * (field[1:] + field[:-1])
+
+        # Communication phase: pass our right boundary around the ring
+        # and relax our first cell against the neighbour's boundary.
+        left_boundary = yield from swap.exchange(
+            nbytes=8.0, payload=float(field[-1]))
+        field[0] = 0.5 * (field[0] + left_boundary)
+
+        iteration += 1
+
+
+def build_platform(seed):
+    platform = make_platform(N_HOSTS, OnOffLoadModel(p=0.0, q=0.0),
+                             seed=seed, speed_range=(250e6, 350e6))
+    # Deterministic drama: the three initially fastest hosts get slammed
+    # by external load 30 s into the run and never recover.
+    from repro.strategies.scheduler import initial_schedule
+    for victim in initial_schedule(platform, N_ACTIVE):
+        platform.hosts[victim].trace = LoadTrace(
+            [0.0, 30.0, 1e12], [0, 3], beyond_horizon="hold")
+    return platform
+
+
+def run(seed, policy):
+    runtime = SwapRuntime(build_platform(seed), n_active=N_ACTIVE,
+                          policy=policy, chunk_flops=CHUNK_FLOPS)
+    job = runtime.launch(smoother_main)
+    results = job.run_to_completion()
+    manager = results[runtime.manager_rank]
+    fields = sorted((r["slot"], r["field"]) for r in results[:N_HOSTS]
+                    if r is not None)
+    return runtime.sim.now, manager, [f for _slot, f in fields]
+
+
+def main():
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+
+    frozen = safe_policy().with_overrides(name="frozen",
+                                          payback_threshold=1e-9)
+    t_swap, mgr_swap, fields_swap = run(seed, greedy_policy())
+    t_stay, mgr_stay, fields_stay = run(seed, frozen)
+
+    print("periodic 1-D upwind smoother, "
+          f"{N_ACTIVE} processes x {CELLS_PER_PROCESS} cells, "
+          f"{ITERATIONS} iterations, {STATE_BYTES / MB:.0f} MB state/proc")
+    print()
+    print(f"  with swapping   : {format_duration(t_swap):>9}  "
+          f"({mgr_swap.swap_count} swaps, final hosts "
+          f"{mgr_swap.final_active})")
+    print(f"  without swapping: {format_duration(t_stay):>9}  "
+          f"(stuck on the loaded hosts)")
+    print(f"  speedup         : {t_stay / t_swap:.2f}x")
+    print()
+    for event in mgr_swap.swaps:
+        print(f"  swap at t={event.time:6.1f}s (iteration "
+              f"{event.iteration}): host {event.out_rank} -> "
+              f"host {event.in_rank}")
+
+    identical = all(np.array_equal(a, b)
+                    for a, b in zip(fields_swap, fields_stay))
+    print()
+    print(f"numerical result identical across both runs: {identical}")
+    if not identical:
+        raise SystemExit("state did not travel with the work!")
+
+
+if __name__ == "__main__":
+    main()

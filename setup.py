@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that ``python setup.py develop`` works on minimal environments that lack
+the ``wheel`` package (PEP 660 editable installs need it, the legacy
+develop command does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Iterative application models.
+
+The paper targets "the broad class of iterative applications" and
+simulates apps with: per-iteration compute of 1-5 minutes on an unloaded
+processor, per-iteration communication of 1 KB - 1 GB, and per-process
+state of 1 KB - 1 GB (its Section 6, "Application").
+"""
+
+from repro.app.iterative import ApplicationSpec
+from repro.app.progress import ProgressEvent, ProgressRecorder
+from repro.app.workloads import (
+    paper_application,
+    particle_dynamics_application,
+    random_application,
+    scaled_iteration_minutes,
+)
+
+__all__ = [
+    "ApplicationSpec",
+    "ProgressEvent",
+    "ProgressRecorder",
+    "paper_application",
+    "particle_dynamics_application",
+    "random_application",
+    "scaled_iteration_minutes",
+]

@@ -1,0 +1,91 @@
+"""The iterative-application specification.
+
+A data-parallel iterative application is characterized by:
+
+* a number of desired processors ``n_processes`` (the paper's ``N``,
+  chosen for memory/performance reasons);
+* per-iteration compute work, partitioned into per-process chunks --
+  equal chunks by default, since "the application is stuck with the
+  initial data distribution" (only DLB may repartition);
+* per-iteration communication volume per process;
+* a per-process state image size (what a swap or checkpoint must move);
+* a fixed iteration count (a stand-in for run-until-convergence; the
+  paper's payback metric exists precisely because the true remaining
+  iteration count is unknown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StrategyError
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """Static description of an iterative data-parallel application."""
+
+    n_processes: int
+    """Desired number of active processes ``N``."""
+    iterations: int
+    """Number of iterations to execute."""
+    flops_per_iteration: float
+    """Total compute work per iteration, across all processes (flop)."""
+    bytes_per_process: float = 0.0
+    """Data each process communicates per iteration (bytes)."""
+    state_bytes: float = 0.0
+    """Per-process state image moved by a swap or checkpoint (bytes)."""
+    name: str = "app"
+
+    def __post_init__(self) -> None:
+        if self.n_processes < 1:
+            raise StrategyError(f"need >= 1 process, got {self.n_processes}")
+        if self.iterations < 1:
+            raise StrategyError(f"need >= 1 iteration, got {self.iterations}")
+        if self.flops_per_iteration <= 0:
+            raise StrategyError("flops_per_iteration must be > 0")
+        if self.bytes_per_process < 0:
+            raise StrategyError("bytes_per_process must be >= 0")
+        if self.state_bytes < 0:
+            raise StrategyError("state_bytes must be >= 0")
+
+    @property
+    def chunk_flops(self) -> float:
+        """Per-process compute work under the equal initial partition."""
+        return self.flops_per_iteration / self.n_processes
+
+    def equal_chunks(self, hosts: "list[int]") -> "dict[int, float]":
+        """Equal-size chunk mapping for the given active hosts."""
+        if len(hosts) != self.n_processes:
+            raise StrategyError(
+                f"application wants {self.n_processes} processes, "
+                f"got {len(hosts)} hosts")
+        return {h: self.chunk_flops for h in hosts}
+
+    def proportional_chunks(self, rates: "dict[int, float]") -> "dict[int, float]":
+        """Chunks proportional to predicted rates (the DLB partition).
+
+        A perfectly balanced partition: every process finishes at the same
+        time if each host sustains its predicted rate.
+        """
+        if len(rates) != self.n_processes:
+            raise StrategyError(
+                f"application wants {self.n_processes} processes, "
+                f"got {len(rates)} rates")
+        total_rate = sum(rates.values())
+        if total_rate <= 0:
+            raise StrategyError("total predicted rate must be > 0")
+        return {h: self.flops_per_iteration * r / total_rate
+                for h, r in rates.items()}
+
+    def unloaded_iteration_time(self, speeds: "list[float]") -> float:
+        """Compute-phase duration on dedicated hosts with equal chunks."""
+        if len(speeds) != self.n_processes:
+            raise StrategyError("speeds list must match n_processes")
+        return max(self.chunk_flops / s for s in speeds)
+
+    def describe(self) -> str:
+        return (f"{self.name}(N={self.n_processes}, I={self.iterations}, "
+                f"{self.flops_per_iteration:.3g} flop/iter, "
+                f"{self.bytes_per_process:.3g} B/proc comm, "
+                f"{self.state_bytes:.3g} B state)")

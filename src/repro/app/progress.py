@@ -1,0 +1,87 @@
+"""Application progress tracking (the paper's Fig. 1).
+
+Figure 1 plots application progress (iterations completed) against time:
+during a swap the curve is flat (the application pauses for the state
+transfer), and afterwards a steeper slope erases the pause -- the time to
+break even is the *payback distance*.  :class:`ProgressRecorder` captures
+exactly that curve from any strategy run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import StrategyError
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One milestone on the progress curve."""
+
+    time: float
+    """Simulated time in seconds."""
+    iterations_done: int
+    """Iterations completed by this time."""
+    kind: str
+    """``"iteration"``, ``"swap"``, ``"checkpoint"``, or ``"startup"``."""
+    detail: str = ""
+    """Free-form annotation (e.g. which hosts were exchanged)."""
+
+
+@dataclass
+class ProgressRecorder:
+    """Accumulates a progress curve during a simulated run."""
+
+    events: "list[ProgressEvent]" = field(default_factory=list)
+
+    def record(self, time: float, iterations_done: int, kind: str,
+               detail: str = "") -> None:
+        if self.events and time < self.events[-1].time - 1e-9:
+            raise StrategyError(
+                f"progress event at t={time} is older than the last one")
+        self.events.append(ProgressEvent(time=float(time),
+                                         iterations_done=int(iterations_done),
+                                         kind=kind, detail=detail))
+
+    def curve(self) -> "tuple[list[float], list[int]]":
+        """(times, iterations) arrays -- the Fig. 1 axes."""
+        return ([e.time for e in self.events],
+                [e.iterations_done for e in self.events])
+
+    def pauses(self) -> "list[tuple[float, float, str]]":
+        """Flat stretches caused by swaps/checkpoints: (start, end, kind)."""
+        result = []
+        for prev, cur in zip(self.events, self.events[1:]):
+            if cur.kind in ("swap", "checkpoint") and cur.time > prev.time:
+                result.append((prev.time, cur.time, cur.kind))
+        return result
+
+    def time_of_iteration(self, k: int) -> Optional[float]:
+        """Completion time of iteration ``k`` (1-based), or None."""
+        for event in self.events:
+            if event.kind == "iteration" and event.iterations_done == k:
+                return event.time
+        return None
+
+    def payback_point(self, baseline: "ProgressRecorder") -> Optional[float]:
+        """First time after a pause that this run catches the ``baseline``.
+
+        Interprets Fig. 1: given a run that paid a swap/checkpoint pause
+        and a baseline that did not, returns the earliest post-pause time
+        at which the paying run's completed-iteration count reaches the
+        baseline's -- i.e. when the pause has paid for itself.  None if
+        there was no pause, or it never catches up within the recorded
+        horizon.
+        """
+        pause_times = [t for t, _end, _k in self.pauses()]
+        if not pause_times:
+            return None
+        first_pause = pause_times[0]
+        for event in self.events:
+            if event.kind != "iteration" or event.time <= first_pause:
+                continue
+            baseline_time = baseline.time_of_iteration(event.iterations_done)
+            if baseline_time is not None and event.time <= baseline_time:
+                return event.time
+        return None

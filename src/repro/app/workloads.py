@@ -1,0 +1,104 @@
+"""Workload generators in the paper's parameter ranges.
+
+Section 6 ("Application"): computation per iteration on an unloaded
+processor in the 1-5 minute range; per-iteration communication in the
+1 KB - 1 GB range; process state 1 KB - 1 GB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.app.iterative import ApplicationSpec
+from repro.errors import StrategyError
+from repro.units import KB, MB, MINUTE
+
+
+def scaled_iteration_minutes(minutes: float, n_processes: int,
+                             reference_speed: float = 300e6) -> float:
+    """Total per-iteration flops so an unloaded iteration lasts ``minutes``.
+
+    ``reference_speed`` is the speed of a mid-range host in the paper's
+    hundreds-of-megaflops platform; the per-process chunk then takes
+    ``minutes`` on such a host.
+    """
+    if minutes <= 0:
+        raise StrategyError(f"iteration length must be > 0, got {minutes}")
+    if reference_speed <= 0:
+        raise StrategyError("reference_speed must be > 0")
+    return minutes * MINUTE * reference_speed * n_processes
+
+
+def paper_application(n_processes: int = 4,
+                      iterations: int = 60,
+                      iteration_minutes: float = 1.0,
+                      bytes_per_process: float = 100 * KB,
+                      state_bytes: float = 1 * MB,
+                      name: str = "paper-app") -> ApplicationSpec:
+    """The canonical evaluation application of the paper's figures.
+
+    Defaults give a ~1 minute unloaded iteration on a mid-range host,
+    small communication, and a 1 MB process image (the Figs. 4-5 value).
+    """
+    return ApplicationSpec(
+        n_processes=n_processes,
+        iterations=iterations,
+        flops_per_iteration=scaled_iteration_minutes(iteration_minutes,
+                                                     n_processes),
+        bytes_per_process=bytes_per_process,
+        state_bytes=state_bytes,
+        name=name,
+    )
+
+
+def particle_dynamics_application(n_processes: int = 4,
+                                  iterations: int = 100,
+                                  particles_per_process: int = 250_000,
+                                  name: str = "particle-dynamics",
+                                  ) -> ApplicationSpec:
+    """A particle-dynamics workload like the paper's retrofit target.
+
+    Section 3 reports retrofitting "a real-world particle dynamics code
+    for which only 4 lines of the original source code were modified".
+    This preset models such a code: per-particle state of ~64 bytes
+    (position, velocity, force, mass), per-iteration compute of ~500
+    flop/particle (neighbour forces + integration), and boundary-exchange
+    communication of ~5 % of the particles per iteration.
+    """
+    if particles_per_process < 1:
+        raise StrategyError("need at least one particle per process")
+    bytes_per_particle = 64.0
+    flops_per_particle = 500.0
+    boundary_fraction = 0.05
+    return ApplicationSpec(
+        n_processes=n_processes,
+        iterations=iterations,
+        flops_per_iteration=(flops_per_particle * particles_per_process
+                             * n_processes),
+        bytes_per_process=(bytes_per_particle * particles_per_process
+                           * boundary_fraction),
+        state_bytes=bytes_per_particle * particles_per_process,
+        name=name,
+    )
+
+
+def random_application(rng: np.random.Generator,
+                       n_processes: int = 4,
+                       iterations: int = 60,
+                       name: str = "random-app") -> ApplicationSpec:
+    """Draw an application uniformly from the paper's stated ranges.
+
+    Compute 1-5 min/iteration, communication 1 KB - 1 GB (log-uniform),
+    state 1 KB - 1 GB (log-uniform).
+    """
+    minutes = float(rng.uniform(1.0, 5.0))
+    comm = float(10 ** rng.uniform(np.log10(1 * KB), np.log10(1e9)))
+    state = float(10 ** rng.uniform(np.log10(1 * KB), np.log10(1e9)))
+    return ApplicationSpec(
+        n_processes=n_processes,
+        iterations=iterations,
+        flops_per_iteration=scaled_iteration_minutes(minutes, n_processes),
+        bytes_per_process=comm,
+        state_bytes=state,
+        name=name,
+    )

@@ -1,0 +1,27 @@
+"""GrADS-style performance contracts (the paper's integration target).
+
+The paper closes with "work is underway to integrate process swapping in
+the GrADS architecture".  In GrADS, an application launches with a
+*performance contract* (the performance its schedule promised); a
+*contract monitor* watches the live execution and raises a violation
+when reality falls short; a rescheduling action then runs.  This package
+provides that triad on top of the swap machinery:
+
+* :class:`~repro.contracts.monitor.PerformanceContract` -- the promised
+  iteration time plus a tolerance and a violation window;
+* :class:`~repro.contracts.monitor.ContractMonitor` -- streaming
+  violation detection over measured iteration times;
+* :class:`~repro.contracts.strategy.ContractSwapStrategy` -- a SWAP
+  variant that consults its policy only when the contract is violated
+  (instead of after every iteration) and renegotiates the contract after
+  each migration.
+"""
+
+from repro.contracts.monitor import ContractMonitor, PerformanceContract
+from repro.contracts.strategy import ContractSwapStrategy
+
+__all__ = [
+    "ContractMonitor",
+    "ContractSwapStrategy",
+    "PerformanceContract",
+]

@@ -1,0 +1,79 @@
+"""Performance contracts and streaming violation detection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StrategyError
+
+
+@dataclass(frozen=True)
+class PerformanceContract:
+    """What the schedule promised: an iteration-time budget.
+
+    A measured iteration *over-runs* the contract when it exceeds
+    ``expected_iteration_time * (1 + tolerance)``; the contract is
+    *violated* after ``violation_window`` consecutive over-runs (one
+    slow iteration is weather, several are climate -- the same transient
+    damping motivation as the paper's history window).
+    """
+
+    expected_iteration_time: float
+    tolerance: float = 0.2
+    violation_window: int = 2
+
+    def __post_init__(self) -> None:
+        if self.expected_iteration_time <= 0:
+            raise StrategyError("expected_iteration_time must be > 0")
+        if self.tolerance < 0:
+            raise StrategyError("tolerance must be >= 0")
+        if self.violation_window < 1:
+            raise StrategyError("violation_window must be >= 1")
+
+    @property
+    def threshold(self) -> float:
+        """Iteration time above which an over-run is counted."""
+        return self.expected_iteration_time * (1.0 + self.tolerance)
+
+    def renegotiated(self, new_expected: float) -> "PerformanceContract":
+        """A fresh contract with a new budget (after a migration)."""
+        return PerformanceContract(
+            expected_iteration_time=new_expected,
+            tolerance=self.tolerance,
+            violation_window=self.violation_window)
+
+
+class ContractMonitor:
+    """Streams measured iteration times against one contract."""
+
+    def __init__(self, contract: PerformanceContract) -> None:
+        self.contract = contract
+        self._consecutive = 0
+        #: Total iterations observed (across renegotiations).
+        self.observations = 0
+        #: Total violations raised.
+        self.violations = 0
+
+    def observe(self, iteration_time: float) -> bool:
+        """Feed one measurement; returns True when a violation fires.
+
+        After firing, the consecutive counter resets (the caller is
+        expected to act, typically renegotiating the contract).
+        """
+        if iteration_time <= 0:
+            raise StrategyError("iteration_time must be > 0")
+        self.observations += 1
+        if iteration_time > self.contract.threshold:
+            self._consecutive += 1
+        else:
+            self._consecutive = 0
+        if self._consecutive >= self.contract.violation_window:
+            self._consecutive = 0
+            self.violations += 1
+            return True
+        return False
+
+    def renegotiate(self, new_expected: float) -> None:
+        """Replace the contract after a rescheduling action."""
+        self.contract = self.contract.renegotiated(new_expected)
+        self._consecutive = 0

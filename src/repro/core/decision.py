@@ -1,0 +1,222 @@
+"""The swap decision engine.
+
+"All three policies, when they decide to swap, swap the slowest active
+processor(s) for the fastest inactive processor(s)."  (Section 4.2)
+
+:func:`decide_swaps` implements that procedure: repeatedly propose
+replacing the currently slowest active processor with the fastest unused
+spare, accept the move only if it passes every gate the policy defines
+(process improvement, application improvement, payback threshold), and
+stop at the first rejected proposal.
+
+:func:`evaluate_reconfiguration` is the reusable gate; the
+checkpoint/restart strategy applies it to whole-set migrations "based on
+the same criteria used to evaluate process swapping decisions"
+(Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.payback import iterations_to_break_even
+from repro.core.policy import PolicyParams
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class ReconfigurationCheck:
+    """Outcome of gating one proposed reconfiguration."""
+
+    accepted: bool
+    app_improvement: float
+    """Relative application performance gain (new_perf/old_perf - 1)."""
+    payback: float
+    """Payback distance in iterations (may be inf or negative)."""
+    reason: str
+    """Why the proposal was rejected ("" when accepted)."""
+
+
+@dataclass(frozen=True)
+class SwapMove:
+    """One accepted processor exchange."""
+
+    out_host: int
+    """Platform index of the active host being retired to the spare pool."""
+    in_host: int
+    """Platform index of the spare host becoming active."""
+    process_improvement: float
+    """Relative rate gain of the swapped process."""
+    app_improvement: float
+    """Relative application gain of this individual move."""
+    payback: float
+    """Payback distance of this individual move, in iterations."""
+
+
+@dataclass(frozen=True)
+class SwapDecision:
+    """Result of one decision epoch."""
+
+    moves: "tuple[SwapMove, ...]" = ()
+    old_iteration_time: float = 0.0
+    """Predicted iteration time with the pre-decision active set."""
+    new_iteration_time: float = 0.0
+    """Predicted iteration time after applying all accepted moves."""
+    rejected_reason: str = ""
+    """Gate that stopped the accumulation ("" if the spare pool ran out)."""
+
+    @property
+    def should_swap(self) -> bool:
+        return bool(self.moves)
+
+    def active_set_after(self, active: "list[int]") -> "list[int]":
+        """The active set with all moves applied (order preserved)."""
+        result = list(active)
+        for move in self.moves:
+            result[result.index(move.out_host)] = move.in_host
+        return result
+
+
+def evaluate_reconfiguration(old_iteration_time: float,
+                             new_iteration_time: float,
+                             cost: float,
+                             params: PolicyParams) -> ReconfigurationCheck:
+    """Gate one proposed reconfiguration with the policy's thresholds.
+
+    Performance is measured as ``1/iteration_time``, so the application
+    improvement is ``old/new - 1`` and the payback distance is
+    ``cost / (old - new)``.
+    """
+    if old_iteration_time <= 0 or new_iteration_time <= 0:
+        raise PolicyError("iteration times must be > 0")
+    app_improvement = old_iteration_time / new_iteration_time - 1.0
+    payback = iterations_to_break_even(cost, old_iteration_time,
+                                       new_iteration_time)
+    if app_improvement <= 0.0:
+        return ReconfigurationCheck(False, app_improvement, payback,
+                                    "no application improvement")
+    if app_improvement < params.min_app_improvement:
+        return ReconfigurationCheck(
+            False, app_improvement, payback,
+            f"application improvement {app_improvement:.2%} below "
+            f"threshold {params.min_app_improvement:.2%}")
+    if payback > params.payback_threshold:
+        return ReconfigurationCheck(
+            False, app_improvement, payback,
+            f"payback {payback:.2f} iterations exceeds threshold "
+            f"{params.payback_threshold:g}")
+    return ReconfigurationCheck(True, app_improvement, payback, "")
+
+
+def _iteration_time(active: "list[int]", rates: Mapping[int, float],
+                    chunk_flops: Mapping[int, float],
+                    comm_time: float) -> float:
+    """Predicted BSP iteration time: slowest compute plus communication."""
+    return max(chunk_flops[h] / rates[h] for h in active) + comm_time
+
+
+def decide_swaps(active: "list[int]",
+                 spares: "list[int]",
+                 rates: Mapping[int, float],
+                 chunk_flops: "Mapping[int, float]",
+                 comm_time: float,
+                 swap_cost: float,
+                 params: PolicyParams) -> SwapDecision:
+    """Decide which processor exchanges to perform this epoch.
+
+    Parameters
+    ----------
+    active:
+        Platform indices of the hosts currently running the application.
+    spares:
+        Platform indices of the over-allocated idle hosts.
+    rates:
+        Predicted effective compute rate (flop/s) of every host in
+        ``active + spares``, already filtered through the policy's history
+        window by the caller.
+    chunk_flops:
+        Compute work per iteration of the process on each active host.  A
+        swapped-in host inherits the outgoing host's chunk (the paper
+        forbids data redistribution).
+    comm_time:
+        Predicted duration of the iteration's communication phase.
+    swap_cost:
+        Time to transfer one process state image (``alpha + size/beta``).
+    params:
+        The policy.
+
+    Returns
+    -------
+    SwapDecision
+        Accepted moves in order; empty if the first proposal failed a gate.
+    """
+    if not active:
+        raise PolicyError("active set is empty")
+    missing = [h for h in list(active) + list(spares) if h not in rates]
+    if missing:
+        raise PolicyError(f"no predicted rate for hosts {missing}")
+    for host, rate in rates.items():
+        if rate <= 0:
+            raise PolicyError(f"non-positive rate {rate} for host {host}")
+
+    current = list(active)
+    chunks = dict(chunk_flops)
+    available = sorted(spares, key=lambda h: rates[h], reverse=True)
+    original_iter = _iteration_time(current, rates, chunks, comm_time)
+    rejected_reason = ""
+
+    # Build a *batch* of tentative moves (slowest active <-> fastest
+    # spare), then commit the longest prefix whose cumulative effect
+    # passes the application-level gates.  Per-move gating would deadlock
+    # on tied actives: replacing one of several equally slow processors
+    # yields no application gain until its peers are replaced too, yet
+    # the paper's policies explicitly swap "the slowest active
+    # processor(s) for the fastest inactive processor(s)" (plural).
+    candidates: list[SwapMove] = []
+    committed = 0
+    committed_iter = original_iter
+
+    while available:
+        if (params.max_swaps_per_decision is not None
+                and len(candidates) >= params.max_swaps_per_decision):
+            break
+        # Slowest active processor = largest predicted compute time.
+        out_host = max(current, key=lambda h: chunks[h] / rates[h])
+        in_host = available[0]
+
+        process_improvement = rates[in_host] / rates[out_host] - 1.0
+        if process_improvement <= 0.0:
+            if not rejected_reason:
+                rejected_reason = ("fastest spare is no faster than "
+                                   "slowest active")
+            break
+        if process_improvement < params.min_process_improvement:
+            if not rejected_reason:
+                rejected_reason = (
+                    f"process improvement {process_improvement:.2%} below "
+                    f"threshold {params.min_process_improvement:.2%}")
+            break
+
+        current[current.index(out_host)] = in_host
+        chunks[in_host] = chunks.pop(out_host)
+        available.pop(0)
+        new_iter = _iteration_time(current, rates, chunks, comm_time)
+        cumulative_cost = swap_cost * (len(candidates) + 1)
+        check = evaluate_reconfiguration(original_iter, new_iter,
+                                         cumulative_cost, params)
+        candidates.append(SwapMove(out_host=out_host, in_host=in_host,
+                                   process_improvement=process_improvement,
+                                   app_improvement=check.app_improvement,
+                                   payback=check.payback))
+        if check.accepted:
+            committed = len(candidates)
+            committed_iter = new_iter
+            rejected_reason = ""
+        elif committed == 0 and not rejected_reason:
+            rejected_reason = check.reason
+
+    return SwapDecision(moves=tuple(candidates[:committed]),
+                        old_iteration_time=original_iter,
+                        new_iteration_time=committed_iter,
+                        rejected_reason=rejected_reason)

@@ -1,0 +1,208 @@
+"""Performance history and forecasting.
+
+Section 4.1: "The amount of performance history used to predict processor
+performance can be tuned.  Increasing the amount of history reduces the
+chance of being fooled by a transient load event, but can cause the
+application to miss good swapping opportunities.  This parameter enables
+swap frequency damping."
+
+:class:`PerformanceHistory` keeps timestamped samples inside a sliding
+window.  Forecasters turn a history into a prediction; beyond the paper's
+windowed mean we provide median, EWMA, last-value and an adaptive
+selector, in the spirit of the Network Weather Service forecaster bank the
+paper cites for its measurement infrastructure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import PolicyError
+
+
+class PerformanceHistory:
+    """Timestamped samples inside a sliding time window.
+
+    Parameters
+    ----------
+    window:
+        Window length in seconds.  ``0`` means "no history": only the most
+        recent sample is retained (the greedy policy's configuration).
+    """
+
+    def __init__(self, window: float = 0.0) -> None:
+        if window < 0:
+            raise PolicyError(f"negative history window {window}")
+        self.window = float(window)
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, t: float, value: float) -> None:
+        """Add a sample; timestamps must be non-decreasing."""
+        if self._samples and t < self._samples[-1][0]:
+            raise PolicyError(
+                f"sample at t={t} is older than the newest sample "
+                f"(t={self._samples[-1][0]})")
+        self._samples.append((float(t), float(value)))
+        self._trim(t)
+
+    def _trim(self, now: float) -> None:
+        cutoff = now - self.window
+        # Always keep at least the newest sample.
+        while len(self._samples) > 1 and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+
+    def samples(self, now: float | None = None) -> "list[tuple[float, float]]":
+        """Samples currently inside the window ending at ``now``."""
+        if now is not None:
+            self._trim(now)
+        return list(self._samples)
+
+    def values(self, now: float | None = None) -> "list[float]":
+        return [v for _t, v in self.samples(now)]
+
+    @property
+    def last(self) -> float:
+        """Most recent value; raises if empty."""
+        if not self._samples:
+            raise PolicyError("history is empty")
+        return self._samples[-1][1]
+
+
+class Forecaster:
+    """Turns a history into a single predicted value."""
+
+    name = "forecaster"
+
+    def predict(self, history: PerformanceHistory, now: float) -> float:
+        raise NotImplementedError
+
+
+class LastValueForecaster(Forecaster):
+    """Predict the most recent measurement (no damping)."""
+
+    name = "last"
+
+    def predict(self, history: PerformanceHistory, now: float) -> float:
+        return history.last
+
+
+class WindowedMeanForecaster(Forecaster):
+    """Arithmetic mean over the window -- the paper's history mechanism."""
+
+    name = "mean"
+
+    def predict(self, history: PerformanceHistory, now: float) -> float:
+        values = history.values(now)
+        if not values:
+            raise PolicyError("history is empty")
+        return float(np.mean(values))
+
+
+class WindowedMedianForecaster(Forecaster):
+    """Median over the window (robust to single-sample spikes)."""
+
+    name = "median"
+
+    def predict(self, history: PerformanceHistory, now: float) -> float:
+        values = history.values(now)
+        if not values:
+            raise PolicyError("history is empty")
+        return float(np.median(values))
+
+
+class EwmaForecaster(Forecaster):
+    """Exponentially weighted moving average with smoothing ``alpha``."""
+
+    name = "ewma"
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise PolicyError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+
+    def predict(self, history: PerformanceHistory, now: float) -> float:
+        values = history.values(now)
+        if not values:
+            raise PolicyError("history is empty")
+        estimate = values[0]
+        for value in values[1:]:
+            estimate = self.alpha * value + (1.0 - self.alpha) * estimate
+        return float(estimate)
+
+
+class AdaptiveForecaster(Forecaster):
+    """NWS-style selector: use the child with the lowest cumulative error.
+
+    On each prediction, every child forecaster is scored by its cumulative
+    absolute one-step-ahead error over the history, and the best child's
+    prediction is returned.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, children: "Iterable[Forecaster] | None" = None) -> None:
+        self.children = list(children) if children is not None else [
+            LastValueForecaster(),
+            WindowedMeanForecaster(),
+            WindowedMedianForecaster(),
+            EwmaForecaster(),
+        ]
+        if not self.children:
+            raise PolicyError("need at least one child forecaster")
+
+    def predict(self, history: PerformanceHistory, now: float) -> float:
+        samples = history.samples(now)
+        if not samples:
+            raise PolicyError("history is empty")
+        if len(samples) == 1:
+            return samples[0][1]
+        errors = [0.0] * len(self.children)
+        # Replay: at each prefix, ask each child to predict the next sample.
+        for split in range(1, len(samples)):
+            prefix = PerformanceHistory(window=history.window)
+            for t, v in samples[:split]:
+                prefix.record(t, v)
+            target_t, target_v = samples[split]
+            for i, child in enumerate(self.children):
+                errors[i] += abs(child.predict(prefix, target_t) - target_v)
+        best = int(np.argmin(errors))
+        return self.children[best].predict(history, now)
+
+
+class PerformanceMonitor:
+    """Per-resource histories with a shared window and forecaster.
+
+    The swap runtime's view of the world: one history per processor,
+    populated by the swap handlers (active processes report measured
+    iteration rates; idle spares report probed CPU availability).
+    """
+
+    def __init__(self, window: float = 0.0,
+                 forecaster: Forecaster | None = None) -> None:
+        self.window = float(window)
+        self.forecaster = forecaster or (
+            LastValueForecaster() if window == 0.0 else WindowedMeanForecaster())
+        self._histories: dict = {}
+
+    def record(self, resource, t: float, value: float) -> None:
+        """Record a measurement for ``resource`` (any hashable key)."""
+        history = self._histories.get(resource)
+        if history is None:
+            history = self._histories[resource] = PerformanceHistory(self.window)
+        history.record(t, value)
+
+    def predict(self, resource, now: float) -> float:
+        """Forecast ``resource``'s next value; raises if never measured."""
+        history = self._histories.get(resource)
+        if history is None or len(history) == 0:
+            raise PolicyError(f"no measurements recorded for {resource!r}")
+        return self.forecaster.predict(history, now)
+
+    def known_resources(self) -> list:
+        return list(self._histories)

@@ -1,0 +1,94 @@
+"""The payback algebra of the paper's Section 5.
+
+The *payback distance* is the number of iterations, at the increased
+performance rate achieved after swapping, required to recover the cost of
+the swap::
+
+    payback_distance = swap_time / (old_iteration_time * (1 - old_perf / new_perf))
+
+with the swap time modelled as a state transfer over a link with latency
+``alpha`` and bandwidth ``beta``::
+
+    swap_time = alpha + process_size / beta
+
+Sign conventions follow the paper exactly: a *negative* payback distance
+means there is no benefit (performance would drop); a *positive* one means
+the overhead is recouped after that many iterations; equal performance
+yields ``+inf`` (the cost is never recouped).
+
+Worked example from the paper: iteration time and swap time both 10 s;
+doubling performance gives a payback distance of 2 iterations; quadrupling
+gives 4/3.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+
+
+def swap_time(process_size: float, latency: float, bandwidth: float) -> float:
+    """Time to transfer one process state image: ``alpha + size/beta``.
+
+    Parameters
+    ----------
+    process_size:
+        Bytes of registered application state to move.
+    latency:
+        Link latency alpha in seconds.
+    bandwidth:
+        Link bandwidth beta in bytes/s.
+    """
+    if process_size < 0:
+        raise PolicyError(f"negative process size {process_size}")
+    if latency < 0:
+        raise PolicyError(f"negative latency {latency}")
+    if bandwidth <= 0:
+        raise PolicyError(f"bandwidth must be > 0, got {bandwidth}")
+    return latency + process_size / bandwidth
+
+
+def payback_distance(swap_cost: float, old_iteration_time: float,
+                     old_performance: float, new_performance: float) -> float:
+    """Iterations at the new rate needed to recoup ``swap_cost``.
+
+    Parameters
+    ----------
+    swap_cost:
+        Time the application is paused for the state transfer (seconds).
+    old_iteration_time:
+        Application iteration time before the swap (seconds).
+    old_performance, new_performance:
+        Any metric that increases with application performance (the paper
+        suggests flop rate; the strategies here use ``1/iteration_time``).
+
+    Returns
+    -------
+    float
+        Positive: iterations to amortize the cost.  ``+inf``: performance
+        unchanged, never amortized.  Negative: performance *drops*; the
+        paper reads this as "no benefit".
+    """
+    if swap_cost < 0:
+        raise PolicyError(f"negative swap cost {swap_cost}")
+    if old_iteration_time <= 0:
+        raise PolicyError(f"iteration time must be > 0, got {old_iteration_time}")
+    if old_performance <= 0 or new_performance <= 0:
+        raise PolicyError("performance metrics must be > 0")
+    denominator = old_iteration_time * (1.0 - old_performance / new_performance)
+    if denominator == 0.0:
+        return float("inf")
+    return swap_cost / denominator
+
+
+def iterations_to_break_even(swap_cost: float, old_iteration_time: float,
+                             new_iteration_time: float) -> float:
+    """Payback distance expressed directly in iteration times.
+
+    With performance measured as ``1/iteration_time`` the paper's formula
+    reduces to ``swap_cost / (old_iteration_time - new_iteration_time)``;
+    this helper avoids the intermediate rates.
+    """
+    if new_iteration_time <= 0:
+        raise PolicyError(f"iteration time must be > 0, got {new_iteration_time}")
+    return payback_distance(swap_cost, old_iteration_time,
+                            1.0 / old_iteration_time, 1.0 / new_iteration_time)

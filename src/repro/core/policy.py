@@ -1,0 +1,131 @@
+"""Swap policy parameters and the paper's three named policies.
+
+Section 4.1 parameterizes swapping behaviour along four axes:
+
+* **payback threshold** -- a swap is allowed only if its payback distance
+  (Section 5) does not exceed this many iterations; smaller is more
+  risk-averse.
+* **minimum process improvement threshold** -- the relative performance
+  gain of the swapped process must exceed this ("swapping stiction").
+* **minimum application improvement threshold** -- the relative gain of
+  the *whole application* must exceed this (avoids "needlessly hoarding
+  fast processors").
+* **history window** -- how much performance history feeds the prediction
+  ("swap frequency damping").
+
+Section 4.2 instantiates three policies:
+
+============  ================  ============  ===========  =========
+policy        payback thresh.   min process   min app      history
+============  ================  ============  ===========  =========
+``greedy``    infinite          none          none         none
+``safe``      0.5 iterations    20 %          none         5 minutes
+``friendly``  infinite          none          2 %          1 minute
+============  ================  ============  ===========  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import PolicyError
+from repro.units import MINUTE
+
+
+@dataclass(frozen=True)
+class PolicyParams:
+    """The policy parameter set of the paper's Section 4.1."""
+
+    name: str
+    """Human-readable policy name."""
+    payback_threshold: float = float("inf")
+    """Maximum acceptable payback distance in iterations (inf = no check)."""
+    min_process_improvement: float = 0.0
+    """Required relative rate gain of the swapped process (0.2 = 20 %)."""
+    min_app_improvement: float = 0.0
+    """Required relative performance gain of the whole application."""
+    history_window: float = 0.0
+    """Seconds of performance history used for prediction (0 = none)."""
+    max_swaps_per_decision: int | None = None
+    """Cap on simultaneous swaps per decision epoch (None = unlimited)."""
+
+    def __post_init__(self) -> None:
+        if self.payback_threshold <= 0:
+            raise PolicyError(
+                f"payback threshold must be > 0, got {self.payback_threshold}")
+        if self.min_process_improvement < 0:
+            raise PolicyError("min_process_improvement must be >= 0")
+        if self.min_app_improvement < 0:
+            raise PolicyError("min_app_improvement must be >= 0")
+        if self.history_window < 0:
+            raise PolicyError("history_window must be >= 0")
+        if (self.max_swaps_per_decision is not None
+                and self.max_swaps_per_decision < 1):
+            raise PolicyError("max_swaps_per_decision must be >= 1 or None")
+
+    def with_overrides(self, **kwargs) -> "PolicyParams":
+        """A copy with some fields replaced (ablation studies)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        payback = ("inf" if self.payback_threshold == float("inf")
+                   else f"{self.payback_threshold:g} iter")
+        return (f"{self.name}(payback<={payback}, "
+                f"proc>={self.min_process_improvement:.0%}, "
+                f"app>={self.min_app_improvement:.0%}, "
+                f"history={self.history_window:g}s)")
+
+
+def greedy_policy() -> PolicyParams:
+    """The greedy policy: swap on any indication of improvement.
+
+    "Infinite payback threshold, no minimum process improvement threshold,
+    no minimum application improvement threshold, and uses no performance
+    history."
+    """
+    return PolicyParams(name="greedy")
+
+
+def safe_policy() -> PolicyParams:
+    """The safe policy: significant benefit, minimal downside.
+
+    "A low payback threshold (0.5 iterations), a high minimum improvement
+    threshold (20%), no minimum application improvement threshold, and a
+    large amount of performance history (5 minutes)."
+    """
+    return PolicyParams(
+        name="safe",
+        payback_threshold=0.5,
+        min_process_improvement=0.20,
+        history_window=5 * MINUTE,
+    )
+
+
+def friendly_policy() -> PolicyParams:
+    """The friendly policy: benefit without hogging fast processors.
+
+    "No minimum process improvement threshold, a slight overall
+    application improvement threshold (2%), and a moderate amount of
+    performance history (1 minute)."
+    """
+    return PolicyParams(
+        name="friendly",
+        min_app_improvement=0.02,
+        history_window=1 * MINUTE,
+    )
+
+
+_NAMED = {
+    "greedy": greedy_policy,
+    "safe": safe_policy,
+    "friendly": friendly_policy,
+}
+
+
+def named_policy(name: str) -> PolicyParams:
+    """Look up one of the paper's policies by name."""
+    try:
+        return _NAMED[name]()
+    except KeyError:
+        raise PolicyError(
+            f"unknown policy {name!r}; choose from {sorted(_NAMED)}") from None

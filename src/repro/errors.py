@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class.  Subsystems raise the most specific
+subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class SimulationError(ReproError):
+    """Error in the discrete-event simulation kernel."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or otherwise illegally."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process was used incorrectly (e.g. resumed twice)."""
+
+
+class PlatformError(ReproError):
+    """Invalid platform description (hosts, links, cluster)."""
+
+
+class LoadModelError(ReproError):
+    """Invalid CPU load model parameters or trace."""
+
+
+class MpiError(ReproError):
+    """Error in the simulated MPI layer (:mod:`repro.smpi`)."""
+
+
+class CommunicatorError(MpiError):
+    """Invalid communicator, group, or rank."""
+
+
+class SwapError(ReproError):
+    """Error in the process swapping runtime (:mod:`repro.swap`)."""
+
+
+class PolicyError(ReproError):
+    """Invalid swap policy parameters or decision inputs."""
+
+
+class StrategyError(ReproError):
+    """Error while executing an application strategy simulation."""
+
+
+class ExperimentError(ReproError):
+    """Invalid experiment configuration."""

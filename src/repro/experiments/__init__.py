@@ -1,0 +1,27 @@
+"""Experiment harness: regenerates every figure of the paper.
+
+* :mod:`repro.experiments.scenarios` -- parameter sets for Figs. 1-9 and
+  the ablation sweeps, including the documented mapping from the paper's
+  "environment dynamism" axis to ON/OFF chain parameters.
+* :mod:`repro.experiments.runner` -- replicated, seeded sweep execution.
+* :mod:`repro.experiments.report` -- tables and ASCII charts.
+* :mod:`repro.experiments.cli` -- ``python -m repro.experiments fig4``.
+"""
+
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.scenarios import (
+    ALL_SCENARIOS,
+    OnOffDynamism,
+    get_scenario,
+)
+from repro.experiments.report import ascii_chart, format_table
+
+__all__ = [
+    "ALL_SCENARIOS",
+    "OnOffDynamism",
+    "SweepResult",
+    "ascii_chart",
+    "format_table",
+    "get_scenario",
+    "run_sweep",
+]

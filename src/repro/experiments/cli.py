@@ -1,0 +1,125 @@
+"""Command-line entry point: regenerate any figure from a terminal.
+
+Examples
+--------
+
+::
+
+    python -m repro.experiments fig4
+    python -m repro.experiments fig7 --seeds 10 --chart
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.report import ascii_chart, format_table, shape_summary
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import ALL_SCENARIOS, get_scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of 'Policies for Swapping "
+                    "MPI Processes' (HPDC 2003).")
+    parser.add_argument("scenario", nargs="?",
+                        help="scenario name (e.g. fig4), or 'all' to "
+                             "regenerate every figure; see --list")
+    parser.add_argument("--outdir", metavar="DIR", default="figures",
+                        help="output directory for 'all' "
+                             "(default: figures/)")
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="number of replicated seeds (default: "
+                             "scenario-specific)")
+    parser.add_argument("--chart", action="store_true",
+                        help="also draw an ASCII chart")
+    parser.add_argument("--events", action="store_true",
+                        help="show mean swap/restart counts per cell")
+    parser.add_argument("--baseline", default="nothing",
+                        help="series used for ratio columns "
+                             "(default: nothing)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full sweep result as JSON")
+    parser.add_argument("--csv", metavar="PATH", default=None,
+                        help="also write per-x means/stds as CSV")
+    parser.add_argument("--svg", metavar="PATH", default=None,
+                        help="also render the sweep as an SVG line chart")
+    parser.add_argument("--list", action="store_true", dest="list_scenarios",
+                        help="list available scenarios and exit")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_scenarios:
+        for name, spec in sorted(ALL_SCENARIOS.items()):
+            print(f"{name:>22}: {spec.title}")
+        return 0
+
+    if not args.scenario:
+        parser.print_usage()
+        return 2
+
+    if args.scenario == "all":
+        return regenerate_all(args)
+
+    spec = get_scenario(args.scenario)
+    started = time.perf_counter()
+    result = run_sweep(spec, seeds=args.seeds)
+    elapsed = time.perf_counter() - started
+
+    baseline = args.baseline if args.baseline in result.series else None
+    print(format_table(result, baseline=baseline, show_events=args.events))
+    if baseline:
+        print()
+        print(shape_summary(result, baseline=baseline))
+    if args.chart:
+        print()
+        print(ascii_chart(result))
+    if args.json:
+        result.to_json(args.json)
+        print(f"\nwrote {args.json}")
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.svg:
+        from repro.experiments.svgplot import write_svg
+        write_svg(result, args.svg)
+        print(f"wrote {args.svg}")
+    print(f"\n[{len(result.seeds)} seeds, {elapsed:.2f}s]")
+    return 0
+
+
+def regenerate_all(args) -> int:
+    """Run every scenario; write table/SVG/CSV/JSON per figure."""
+    from pathlib import Path
+
+    from repro.experiments.svgplot import write_svg
+
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for name, spec in sorted(ALL_SCENARIOS.items()):
+        started = time.perf_counter()
+        result = run_sweep(spec, seeds=args.seeds)
+        elapsed = time.perf_counter() - started
+        baseline = "nothing" if "nothing" in result.series else None
+        (outdir / f"{name}.txt").write_text(
+            format_table(result, baseline=baseline) + "\n")
+        if all(x != float("inf") for x in result.x_values):
+            write_svg(result, outdir / f"{name}.svg")
+        result.to_csv(outdir / f"{name}.csv")
+        result.to_json(outdir / f"{name}.json")
+        print(f"{name:>22}: {len(result.x_values)} points x "
+              f"{len(result.seeds)} seeds in {elapsed:5.2f}s -> "
+              f"{outdir}/{name}.{{txt,svg,csv,json}}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

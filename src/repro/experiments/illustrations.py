@@ -1,0 +1,175 @@
+"""Non-sweep figures: the payback illustration and load-trace exemplars.
+
+* Fig. 1 -- application progress vs time around one swap: the pause, the
+  steeper post-swap slope, and the payback point where the swapping run
+  catches the non-swapping baseline.
+* Fig. 2 -- an example ON/OFF CPU load trace (p=0.3, q=0.08).
+* Fig. 3 -- an example hyperexponential CPU load trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.iterative import ApplicationSpec
+from repro.app.progress import ProgressRecorder
+from repro.core.payback import iterations_to_break_even
+from repro.core.policy import greedy_policy
+from repro.load.base import ConstantLoadModel, LoadTrace
+from repro.load.hyperexp import HyperexponentialLoadModel
+from repro.load.onoff import OnOffLoadModel
+from repro.load.stats import TraceStats, trace_stats
+from repro.platform.cluster import make_platform
+from repro.simkernel.rng import RngRegistry
+from repro.strategies.nothing import NothingStrategy
+from repro.strategies.swapstrat import SwapStrategy
+from repro.units import MB
+
+
+@dataclass
+class PaybackIllustration:
+    """Everything Fig. 1 shows, measured from an actual simulated run."""
+
+    swapping: ProgressRecorder
+    baseline: ProgressRecorder
+    swap_pause: "tuple[float, float]"
+    """(start, end) of the progress plateau caused by the swap."""
+    analytic_payback_iterations: float
+    """Payback distance predicted by the Section 5 algebra."""
+    empirical_payback_time: float
+    """Simulated time at which the swapping run catches the baseline."""
+    old_iteration_time: float
+    new_iteration_time: float
+    swap_cost: float
+
+
+def fig1_payback(iterations: int = 20,
+                 state_bytes: float = 60 * MB) -> PaybackIllustration:
+    """Reproduce Fig. 1 from an actual pair of simulated runs.
+
+    One process starts on a persistently loaded host with an idle spare
+    available.  The greedy policy swaps at the first opportunity, pausing
+    the application for the state transfer; the NOTHING baseline stays
+    put.  The returned object carries both progress curves, the paper's
+    analytic payback distance, and the empirically observed catch-up
+    point.
+    """
+
+    def build():
+        platform = make_platform(2, ConstantLoadModel(0), seed=0,
+                                 speed_range=(100e6, 100e6 + 1e-6))
+        # Host 0: loaded forever (the process starts there because host 1
+        # looks *worse* at startup and recovers immediately after).
+        platform.hosts[0].trace = LoadTrace([0.0, 1e12], [1],
+                                            beyond_horizon="hold")
+        platform.hosts[1].trace = LoadTrace([0.0, 0.5, 1e12], [3, 0],
+                                            beyond_horizon="hold")
+        return platform
+
+    app = ApplicationSpec(n_processes=1, iterations=iterations,
+                          flops_per_iteration=1e9,  # 10 s unloaded
+                          state_bytes=state_bytes, name="fig1")
+
+    swap_run = SwapStrategy(greedy_policy()).run(build(), app)
+    base_run = NothingStrategy().run(build(), app)
+
+    pauses = swap_run.progress.pauses()
+    if not pauses:
+        raise RuntimeError("fig1 scenario produced no swap")
+    pause_start, pause_end, _kind = pauses[0]
+
+    speed = 100e6
+    old_iter = app.chunk_flops / (speed / 2.0)   # loaded: availability 1/2
+    new_iter = app.chunk_flops / speed
+    swap_cost = build().link.transfer_time(state_bytes)
+
+    return PaybackIllustration(
+        swapping=swap_run.progress,
+        baseline=base_run.progress,
+        swap_pause=(pause_start, pause_end),
+        analytic_payback_iterations=iterations_to_break_even(
+            swap_cost, old_iter, new_iter),
+        empirical_payback_time=swap_run.progress.payback_point(
+            base_run.progress),
+        old_iteration_time=old_iter,
+        new_iteration_time=new_iter,
+        swap_cost=swap_cost,
+    )
+
+
+@dataclass
+class TraceExemplar:
+    """A load trace plus its summary statistics (Figs. 2 and 3)."""
+
+    trace: LoadTrace
+    stats: TraceStats
+    window: float
+    description: str
+
+
+def fig2_onoff_trace(seed: int = 0, window: float = 500.0) -> TraceExemplar:
+    """The paper's Fig. 2: an ON/OFF source with p=0.3, q=0.08."""
+    model = OnOffLoadModel(p=0.3, q=0.08, step=10.0)
+    trace = model.build(RngRegistry(seed).stream("fig2"), window)
+    return TraceExemplar(trace=trace, stats=trace_stats(trace, 0.0, window),
+                         window=window, description=model.describe())
+
+
+def fig3_hyperexp_trace(seed: int = 0,
+                        window: float = 500.0) -> TraceExemplar:
+    """The paper's Fig. 3: overlapping hyperexponential-lifetime jobs."""
+    model = HyperexponentialLoadModel(mean_lifetime=60.0, utilization=1.2,
+                                      branch_prob=0.3)
+    trace = model.build(RngRegistry(seed).stream("fig3"), window)
+    return TraceExemplar(trace=trace, stats=trace_stats(trace, 0.0, window),
+                         window=window, description=model.describe())
+
+
+def ascii_load_strip(trace: LoadTrace, t0: float, t1: float,
+                     width: int = 72) -> str:
+    """One-line-per-level ASCII rendering of a load trace."""
+    samples = [trace.value_at(t0 + (t1 - t0) * i / (width - 1))
+               for i in range(width)]
+    top = max(max(samples), 1)
+    lines = []
+    for level in range(top, 0, -1):
+        row = "".join("#" if s >= level else " " for s in samples)
+        lines.append(f"{level:3d} |{row}")
+    lines.append("    +" + "-" * width)
+    lines.append(f"     t={t0:g} .. {t1:g}s  (competing processes over time)")
+    return "\n".join(lines)
+
+
+def ascii_progress(illustration: PaybackIllustration,
+                   width: int = 72) -> str:
+    """Fig. 1 as ASCII: both progress curves and the payback point."""
+    swap_times, swap_iters = illustration.swapping.curve()
+    base_times, base_iters = illustration.baseline.curve()
+    t_max = max(swap_times[-1], base_times[-1])
+    k_max = max(swap_iters[-1], base_iters[-1])
+    height = 14
+
+    def curve_row(times, iters, t):
+        done = 0
+        for tt, kk in zip(times, iters):
+            if tt <= t:
+                done = kk
+        return done
+
+    lines = ["progress (iterations completed) vs time; s=swap run, "
+             "b=baseline, X=both"]
+    for level in range(height, 0, -1):
+        threshold = k_max * level / height
+        row = []
+        for c in range(width):
+            t = t_max * c / (width - 1)
+            s = curve_row(swap_times, swap_iters, t) >= threshold
+            b = curve_row(base_times, base_iters, t) >= threshold
+            row.append("X" if s and b else ("s" if s else ("b" if b else " ")))
+        lines.append(f"{threshold:6.1f} |{''.join(row)}")
+    lines.append("       +" + "-" * width)
+    lines.append(f"        0 .. {t_max:.0f}s   swap pause "
+                 f"{illustration.swap_pause[0]:.0f}-"
+                 f"{illustration.swap_pause[1]:.0f}s, payback at "
+                 f"{illustration.empirical_payback_time:.0f}s")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Rendering sweep results as tables and ASCII charts.
+
+The benches print these for every figure so the regenerated series can be
+compared against the paper's plots at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SweepResult
+
+
+def _fmt_x(x: float) -> str:
+    if x == float("inf"):
+        return "inf"
+    if abs(x) >= 100 or x == int(x):
+        return f"{x:g}"
+    return f"{x:.2f}"
+
+
+def format_table(result: SweepResult, baseline: str | None = None,
+                 show_events: bool = False) -> str:
+    """A fixed-width table: one row per x value, one column per series.
+
+    With ``baseline`` set, each cell also shows the ratio to that series
+    (lower than 1.00 = faster than the baseline).
+    """
+    names = result.series_names()
+    width = max(12, max(len(n) for n in names) + 8)
+    lines = [result.title, ""]
+    header = f"{result.xlabel[:28]:>28} | " + " | ".join(
+        f"{n:>{width}}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(result.x_values):
+        cells = []
+        for name in names:
+            mean = result.series[name].mean[i]
+            if baseline is not None and baseline in result.series:
+                ratio = mean / result.series[baseline].mean[i]
+                cell = f"{mean:9.1f} ({ratio:4.2f})"
+            else:
+                cell = f"{mean:9.1f}"
+            if show_events:
+                cell += f" [{result.series[name].swap_counts[i]:5.1f}]"
+            cells.append(f"{cell:>{width}}")
+        lines.append(f"{_fmt_x(x):>28} | " + " | ".join(cells))
+    if result.paper_claim:
+        lines.append("")
+        lines.append(f"paper: {result.paper_claim}")
+    return "\n".join(lines)
+
+
+def ascii_chart(result: SweepResult, height: int = 16,
+                width: int = 72) -> str:
+    """A rough multi-series ASCII line chart (x left-to-right).
+
+    Each series is drawn with its own glyph; overlapping points show the
+    later series' glyph.  Good enough to eyeball crossovers and shapes
+    against the paper's figures.
+    """
+    names = result.series_names()
+    glyphs = "o*x+#@%&"
+    all_values = [v for n in names for v in result.series[n].mean]
+    lo, hi = min(all_values), max(all_values)
+    if hi <= lo:
+        hi = lo + 1.0
+    n_x = len(result.x_values)
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(i: int) -> int:
+        if n_x == 1:
+            return width // 2
+        return round(i * (width - 1) / (n_x - 1))
+
+    def row_of(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    for s_idx, name in enumerate(names):
+        glyph = glyphs[s_idx % len(glyphs)]
+        means = result.series[name].mean
+        # Connect consecutive points with interpolated glyphs.
+        for i in range(n_x - 1):
+            c0, c1 = col_of(i), col_of(i + 1)
+            v0, v1 = means[i], means[i + 1]
+            for c in range(c0, c1 + 1):
+                frac = 0.0 if c1 == c0 else (c - c0) / (c1 - c0)
+                r = row_of(v0 + frac * (v1 - v0))
+                grid[r][c] = glyph
+        if n_x == 1:
+            grid[row_of(means[0])][col_of(0)] = glyph
+
+    lines = [result.title, ""]
+    for r, row in enumerate(grid):
+        value = hi - r * (hi - lo) / (height - 1)
+        lines.append(f"{value:10.1f} |{''.join(row)}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + f"{_fmt_x(result.x_values[0])} .. "
+                 f"{_fmt_x(result.x_values[-1])}  ({result.xlabel})")
+    legend = "   ".join(f"{glyphs[i % len(glyphs)]} {name}"
+                        for i, name in enumerate(names))
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def shape_summary(result: SweepResult, baseline: str = "nothing") -> str:
+    """One line per series: best/worst ratio to the baseline across x."""
+    lines = []
+    for name in result.series_names():
+        if name == baseline or baseline not in result.series:
+            continue
+        ratios = result.ratio_to(name, baseline)
+        lines.append(
+            f"{name:>16}: best {min(ratios):.2f}x, worst {max(ratios):.2f}x "
+            f"of {baseline} (mean {sum(ratios) / len(ratios):.2f}x)")
+    return "\n".join(lines)

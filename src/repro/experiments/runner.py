@@ -1,0 +1,188 @@
+"""Replicated, seeded execution of experiment sweeps.
+
+For each x value and each seed, the scenario builder constructs one
+platform (one sampled environment) and every variant runs on it
+back-to-back -- identical load traces across competing strategies, the
+property the paper's simulation methodology exists to provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.scenarios import ExperimentSpec
+from repro.strategies.base import ExecutionResult
+
+
+@dataclass
+class SeriesStats:
+    """Per-x-value statistics of one variant's makespans."""
+
+    mean: "list[float]" = field(default_factory=list)
+    std: "list[float]" = field(default_factory=list)
+    raw: "list[list[float]]" = field(default_factory=list)
+    swap_counts: "list[float]" = field(default_factory=list)
+    """Mean swaps (or restarts, for CR) per run at each x value."""
+
+
+@dataclass
+class SweepResult:
+    """Everything a report or bench needs from one sweep."""
+
+    name: str
+    title: str
+    xlabel: str
+    x_values: "list[float]"
+    series: "dict[str, SeriesStats]"
+    seeds: "list[int]"
+    paper_claim: str = ""
+
+    def series_names(self) -> "list[str]":
+        return list(self.series)
+
+    def mean_of(self, name: str) -> "list[float]":
+        if name not in self.series:
+            raise ExperimentError(
+                f"no series {name!r}; have {sorted(self.series)}")
+        return self.series[name].mean
+
+    def ratio_to(self, name: str, baseline: str = "nothing") -> "list[float]":
+        """Per-x ratio of a series to the baseline (lower = better)."""
+        base = self.mean_of(baseline)
+        target = self.mean_of(name)
+        return [t / b for t, b in zip(target, base)]
+
+    def best_improvement(self, name: str,
+                         baseline: str = "nothing") -> float:
+        """Largest relative gain of ``name`` over the baseline across x."""
+        return max(1.0 - r for r in self.ratio_to(name, baseline))
+
+    # -- export -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable record of the whole sweep."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "xlabel": self.xlabel,
+            "x_values": list(self.x_values),
+            "seeds": list(self.seeds),
+            "paper_claim": self.paper_claim,
+            "series": {
+                label: {
+                    "mean": stats.mean,
+                    "std": stats.std,
+                    "raw": stats.raw,
+                    "swap_counts": stats.swap_counts,
+                }
+                for label, stats in self.series.items()
+            },
+        }
+
+    def to_json(self, path) -> None:
+        """Write :meth:`to_dict` to ``path`` as JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    def to_csv(self, path) -> None:
+        """Write one row per x value: mean and std of every series."""
+        import csv
+
+        names = self.series_names()
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            header = ["x"]
+            for name in names:
+                header += [f"{name}_mean", f"{name}_std",
+                           f"{name}_swaps"]
+            writer.writerow(header)
+            for i, x in enumerate(self.x_values):
+                row = [x]
+                for name in names:
+                    stats = self.series[name]
+                    row += [stats.mean[i], stats.std[i],
+                            stats.swap_counts[i]]
+                writer.writerow(row)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepResult":
+        """Inverse of :meth:`to_dict`."""
+        series = {
+            label: SeriesStats(mean=list(data["mean"]),
+                               std=list(data["std"]),
+                               raw=[list(r) for r in data["raw"]],
+                               swap_counts=list(data["swap_counts"]))
+            for label, data in payload["series"].items()
+        }
+        return cls(name=payload["name"], title=payload["title"],
+                   xlabel=payload["xlabel"],
+                   x_values=list(payload["x_values"]), series=series,
+                   seeds=list(payload["seeds"]),
+                   paper_claim=payload.get("paper_claim", ""))
+
+
+def run_sweep(spec: ExperimentSpec,
+              seeds: "Sequence[int] | int | None" = None,
+              on_point: "Callable[[float, int], None] | None" = None,
+              ) -> SweepResult:
+    """Run a full sweep and aggregate makespans per (x, series).
+
+    Parameters
+    ----------
+    spec:
+        The scenario to run.
+    seeds:
+        Either an iterable of seeds, an int (``range(seeds)``), or None
+        (``range(spec.default_seeds)``).
+    on_point:
+        Optional progress callback invoked as ``on_point(x, seed)`` before
+        each (x, seed) cell (used by the CLI for progress output).
+    """
+    if seeds is None:
+        seeds = range(spec.default_seeds)
+    elif isinstance(seeds, int):
+        seeds = range(seeds)
+    seed_list = list(seeds)
+    if not seed_list:
+        raise ExperimentError("need at least one seed")
+
+    series: "dict[str, SeriesStats]" = {}
+    for x in spec.x_values:
+        per_series_makespans: "dict[str, list[float]]" = {}
+        per_series_events: "dict[str, list[float]]" = {}
+        for seed in seed_list:
+            if on_point is not None:
+                on_point(x, seed)
+            platform, variants = spec.build(x, seed)
+            labels = [label for label, _app, _s in variants]
+            if len(set(labels)) != len(labels):
+                raise ExperimentError(
+                    f"{spec.name}: duplicate variant labels {labels}")
+            for label, app, strategy in variants:
+                result: ExecutionResult = strategy.run(platform, app)
+                per_series_makespans.setdefault(label, []).append(
+                    result.makespan)
+                per_series_events.setdefault(label, []).append(
+                    float(result.swap_count + result.restart_count))
+        for label, makespans in per_series_makespans.items():
+            stats = series.setdefault(label, SeriesStats())
+            stats.mean.append(float(np.mean(makespans)))
+            stats.std.append(float(np.std(makespans)))
+            stats.raw.append(makespans)
+            stats.swap_counts.append(float(np.mean(per_series_events[label])))
+
+    lengths = {label: len(s.mean) for label, s in series.items()}
+    if len(set(lengths.values())) != 1:  # pragma: no cover - defensive
+        raise ExperimentError(
+            f"{spec.name}: ragged series lengths {lengths} -- a variant "
+            f"was not produced at every x value")
+
+    return SweepResult(name=spec.name, title=spec.title, xlabel=spec.xlabel,
+                       x_values=list(spec.x_values), series=series,
+                       seeds=seed_list, paper_claim=spec.paper_claim)

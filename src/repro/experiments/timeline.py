@@ -1,0 +1,53 @@
+"""ASCII timelines of simulated runs.
+
+Renders which hosts an application occupied over time, with swap and
+checkpoint pauses marked -- a quick visual check that a strategy actually
+migrated where the numbers say it did.
+"""
+
+from __future__ import annotations
+
+from repro.strategies.base import ExecutionResult
+
+
+def ascii_timeline(result: ExecutionResult, n_hosts: int | None = None,
+                   width: int = 72) -> str:
+    """One row per host, one column per time slice.
+
+    Glyphs: ``#`` the host ran an iteration, ``=`` the application was
+    paused on it for a swap/checkpoint, ``.`` idle (spare or unused).
+    """
+    if not result.records:
+        return "(empty run)"
+    if n_hosts is None:
+        n_hosts = max(max(record.active) for record in result.records) + 1
+    t_end = result.makespan
+    if t_end <= 0:
+        return "(zero-length run)"
+
+    def col(t: float) -> int:
+        return min(width - 1, int(t / t_end * width))
+
+    grid = [["."] * width for _ in range(n_hosts)]
+    for record in result.records:
+        c0, c1 = col(record.start), col(record.end)
+        for host in record.active:
+            for c in range(c0, c1 + 1):
+                grid[host][c] = "#"
+        if record.overhead_after > 0:
+            p0, p1 = col(record.end), col(record.end + record.overhead_after)
+            for host in record.active:
+                for c in range(p0, p1 + 1):
+                    grid[host][c] = "="
+
+    lines = [f"host occupancy over {t_end:.0f}s "
+             f"(#=computing, ==paused for {result.strategy}, .=idle)"]
+    for host in range(n_hosts):
+        marker = ">" if host in result.final_active else " "
+        lines.append(f"{marker}h{host:02d} |{''.join(grid[host])}")
+    lines.append("     +" + "-" * width)
+    events = sum(1 for r in result.records if r.event)
+    lines.append(f"      0 .. {t_end:.0f}s   "
+                 f"{result.swap_count} swaps, {result.restart_count} "
+                 f"restarts across {events} pauses")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""CPU load models for shared workstations.
+
+The paper models external CPU load on each workstation with two stochastic
+models (its Section 6):
+
+* an **ON/OFF two-state Markov source** (Fig. 2): the host is either
+  unloaded or loaded with exactly one competing compute-bound process;
+* a **degenerate hyperexponential lifetime model** (Fig. 3): competing
+  processes arrive uniformly at random and live for hyperexponentially
+  distributed times, several may overlap.
+
+Both produce a :class:`~repro.load.base.LoadTrace` -- a piecewise-constant
+function of time giving the number of competing compute-bound processes on
+a host.  A host running one application process under fair CPU timesharing
+then computes at ``speed / (1 + n(t))``.
+
+Trace replay (:class:`~repro.load.trace.ReplayLoadModel`) implements the
+paper's stated future work of driving the simulation from recorded load
+measurements.
+"""
+
+from repro.load.base import ConstantLoadModel, LoadModel, LoadTrace
+from repro.load.hyperexp import HyperexponentialLoadModel
+from repro.load.onoff import AggregatedOnOffLoadModel, OnOffLoadModel
+from repro.load.owner import OwnerActivityModel
+from repro.load.trace import ReplayLoadModel
+from repro.load.stats import TraceStats, availability_series, trace_stats
+
+__all__ = [
+    "AggregatedOnOffLoadModel",
+    "ConstantLoadModel",
+    "HyperexponentialLoadModel",
+    "LoadModel",
+    "LoadTrace",
+    "OnOffLoadModel",
+    "OwnerActivityModel",
+    "ReplayLoadModel",
+    "TraceStats",
+    "availability_series",
+    "trace_stats",
+]

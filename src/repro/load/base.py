@@ -1,0 +1,238 @@
+"""Load traces and the load-model interface.
+
+A :class:`LoadTrace` is a right-open piecewise-constant function
+``n(t) >= 0``: the number of external compute-bound processes on a host.
+Traces are *lazily extensible*: stochastic models attach an extender so a
+trace grows on demand as the simulation advances (application makespans
+are not known up front -- the paper targets run-until-convergence codes).
+
+The two operations the simulators need are exact (no time-stepping):
+
+* :meth:`LoadTrace.integrate_availability` -- CPU share received by one
+  application process over a window, under fair timesharing;
+* :meth:`LoadTrace.advance_work` -- the finish time of a compute demand
+  started at ``t0``, by walking trace segments.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable, Optional, Sequence
+
+from repro.errors import LoadModelError
+
+#: Fraction by which lazy extension overshoots, to amortize extend calls.
+_EXTEND_SLACK = 1.5
+
+
+class LoadTrace:
+    """Piecewise-constant external load ``n(t)`` on one host.
+
+    Parameters
+    ----------
+    times:
+        Segment breakpoints, strictly increasing, ``times[0] == 0.0``.
+        Segment ``i`` spans ``[times[i], times[i+1])``; the trace is
+        defined up to ``horizon`` (== ``times[-1] + last segment`` handled
+        by extension).  Internally ``times`` has one more entry than
+        ``values``: the final entry is the horizon.
+    values:
+        Number of competing processes on each segment (``len(times) - 1``
+        entries, each >= 0).
+    extender:
+        Optional callable ``extender(trace, new_horizon)`` that appends
+        segments until ``trace.horizon >= new_horizon``.  Without one, use
+        of the trace past its horizon follows ``beyond_horizon``.
+    beyond_horizon:
+        For non-extensible traces: ``"hold"`` keeps the final value
+        forever, ``"error"`` raises :class:`LoadModelError`.
+    """
+
+    __slots__ = ("_times", "_values", "_extender", "_beyond")
+
+    def __init__(self, times: Sequence[float], values: Sequence[int],
+                 extender: Optional[Callable[["LoadTrace", float], None]] = None,
+                 beyond_horizon: str = "hold") -> None:
+        times = [float(t) for t in times]
+        values = [int(v) for v in values]
+        if len(times) != len(values) + 1:
+            raise LoadModelError(
+                f"need len(times) == len(values) + 1, got {len(times)} and {len(values)}")
+        if times[0] != 0.0:
+            raise LoadModelError(f"trace must start at t=0, got {times[0]}")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise LoadModelError("trace breakpoints must be strictly increasing")
+        if any(v < 0 for v in values):
+            raise LoadModelError("competing process counts must be >= 0")
+        if beyond_horizon not in ("hold", "error"):
+            raise LoadModelError(f"unknown beyond_horizon mode {beyond_horizon!r}")
+        self._times = times
+        self._values = values
+        self._extender = extender
+        self._beyond = beyond_horizon
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def horizon(self) -> float:
+        """Time up to which the trace is currently materialized."""
+        return self._times[-1]
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._values)
+
+    def segments(self) -> "list[tuple[float, float, int]]":
+        """Materialized ``(start, end, n)`` triples (a copy)."""
+        return [(self._times[i], self._times[i + 1], self._values[i])
+                for i in range(len(self._values))]
+
+    # -- extension ------------------------------------------------------
+
+    def append_segment(self, end_time: float, value: int) -> None:
+        """Append one segment ending at ``end_time`` (extenders use this).
+
+        Merges with the previous segment when the value is unchanged.
+        """
+        if end_time <= self.horizon:
+            raise LoadModelError(
+                f"segment end {end_time} does not extend horizon {self.horizon}")
+        value = int(value)
+        if value < 0:
+            raise LoadModelError("competing process counts must be >= 0")
+        if self._values and self._values[-1] == value:
+            self._times[-1] = float(end_time)
+        else:
+            self._times.append(float(end_time))
+            self._values.append(value)
+
+    def _ensure(self, t: float) -> None:
+        if t < self.horizon:
+            return
+        if self._extender is not None:
+            target = max(t * _EXTEND_SLACK, self.horizon * _EXTEND_SLACK, t + 1.0)
+            self._extender(self, target)
+            if t >= self.horizon:  # pragma: no cover - defensive
+                raise LoadModelError("trace extender failed to reach requested time")
+        elif self._beyond == "error":
+            raise LoadModelError(
+                f"trace ends at t={self.horizon} but t={t} was requested")
+        else:  # hold final value
+            self.append_segment(max(t + 1.0, self.horizon * _EXTEND_SLACK),
+                                self._values[-1] if self._values else 0)
+
+    # -- queries --------------------------------------------------------
+
+    def value_at(self, t: float) -> int:
+        """Number of competing processes at time ``t``."""
+        if t < 0:
+            raise LoadModelError(f"negative time {t}")
+        self._ensure(t)
+        idx = bisect_right(self._times, t) - 1
+        idx = min(idx, len(self._values) - 1)
+        return self._values[idx]
+
+    def availability_at(self, t: float) -> float:
+        """CPU share one application process gets at ``t``: ``1/(1+n)``."""
+        return 1.0 / (1.0 + self.value_at(t))
+
+    def integrate_availability(self, t0: float, t1: float) -> float:
+        """``∫ 1/(1+n(u)) du`` over ``[t0, t1]`` (exact)."""
+        if t1 < t0:
+            raise LoadModelError(f"empty window [{t0}, {t1}]")
+        if t1 == t0:
+            return 0.0
+        self._ensure(t1)
+        total = 0.0
+        idx = min(bisect_right(self._times, t0) - 1, len(self._values) - 1)
+        t = t0
+        while t < t1:
+            seg_end = min(self._times[idx + 1], t1)
+            total += (seg_end - t) / (1.0 + self._values[idx])
+            t = seg_end
+            idx += 1
+        return total
+
+    def mean_availability(self, t0: float, t1: float) -> float:
+        """Average CPU share over ``[t0, t1]``; instantaneous if t0 == t1."""
+        if t1 == t0:
+            return self.availability_at(t0)
+        return self.integrate_availability(t0, t1) / (t1 - t0)
+
+    def advance_work(self, t0: float, demand: float) -> float:
+        """Finish time of ``demand`` unloaded-CPU-seconds started at ``t0``.
+
+        ``demand`` is the compute requirement already divided by the
+        host's unloaded speed (i.e., seconds of dedicated CPU).  Returns
+        the earliest ``t`` with ``integrate_availability(t0, t) == demand``.
+        """
+        if demand < 0:
+            raise LoadModelError(f"negative compute demand {demand}")
+        if demand == 0:
+            return t0
+        if t0 < 0:
+            raise LoadModelError(f"negative start time {t0}")
+        self._ensure(t0)
+        idx = min(bisect_right(self._times, t0) - 1, len(self._values) - 1)
+        t = t0
+        remaining = float(demand)
+        while True:
+            if idx >= len(self._values):
+                # Ran off the materialized end: extend (extension may merge
+                # into the final segment, so re-derive the index from t).
+                self._ensure(t + remaining * 2.0 + 1.0)
+                idx = min(bisect_right(self._times, t) - 1,
+                          len(self._values) - 1)
+            avail = 1.0 / (1.0 + self._values[idx])
+            seg_end = self._times[idx + 1]
+            capacity = (seg_end - t) * avail
+            if capacity >= remaining:
+                return t + remaining / avail
+            remaining -= capacity
+            t = seg_end
+            idx += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<LoadTrace segments={self.n_segments} "
+                f"horizon={self.horizon:.6g}>")
+
+
+class LoadModel:
+    """Interface: stochastic (or replayed) generator of load traces."""
+
+    def build(self, rng, horizon: float) -> LoadTrace:
+        """Materialize a trace to at least ``horizon`` seconds.
+
+        Parameters
+        ----------
+        rng:
+            A :class:`numpy.random.Generator`; the model must draw all its
+            randomness from it (reproducibility contract).
+        horizon:
+            Initial materialization horizon; traces remain lazily
+            extensible past it using the same ``rng``.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description (used in reports)."""
+        return type(self).__name__
+
+
+class ConstantLoadModel(LoadModel):
+    """A fixed number of competing processes forever (incl. 0 = dedicated)."""
+
+    def __init__(self, n_competing: int = 0) -> None:
+        if n_competing < 0:
+            raise LoadModelError("n_competing must be >= 0")
+        self.n_competing = int(n_competing)
+
+    def build(self, rng, horizon: float) -> LoadTrace:
+        def extend(trace: LoadTrace, new_horizon: float) -> None:
+            trace.append_segment(new_horizon, self.n_competing)
+
+        return LoadTrace([0.0, max(horizon, 1.0)], [self.n_competing],
+                         extender=extend)
+
+    def describe(self) -> str:
+        return f"constant load (n={self.n_competing})"

@@ -1,0 +1,106 @@
+"""Owner reclamation: desktop-grid style resource revocation.
+
+The paper's related-work section motivates "combining MPI process
+swapping techniques and policies with the cycle-stealing facilities of
+desktop computing systems like Condor [or] XtremWeb ...  These systems
+evict application processes when a resource is reclaimed by its owner."
+
+:class:`OwnerActivityModel` composes any base CPU load model with an
+ON/OFF *owner presence* signal.  While the owner is present the host is
+effectively revoked: the guest application process is throttled to a
+negligible share (``owner_weight`` competing-process equivalents, default
+49 => at most 2 % of the CPU).  Under a swapping policy this produces
+exactly the eviction-and-migrate behaviour the paper sketches -- the
+spare pool absorbs reclaimed processes -- without requiring a separate
+kill/restart mechanism: a revoked process that cannot migrate simply
+stalls, as a suspended Condor guest job would.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LoadModelError
+from repro.load.base import ConstantLoadModel, LoadModel, LoadTrace
+from repro.load.onoff import OnOffLoadModel
+
+
+class OwnerActivityModel(LoadModel):
+    """Base external load plus owner-presence revocation periods.
+
+    Parameters
+    ----------
+    presence_fraction:
+        Long-run fraction of time the owner uses their workstation.
+    mean_presence:
+        Mean length of one owner session in seconds.
+    base:
+        CPU load model for guest-visible background load while the owner
+        is away (defaults to an otherwise idle host).
+    owner_weight:
+        Competing-process equivalents contributed by the owner; the guest
+        then receives ``1 / (1 + owner_weight + n_base)`` of the CPU.
+    step:
+        Time resolution of the presence signal in seconds.
+    """
+
+    def __init__(self, presence_fraction: float, mean_presence: float,
+                 base: LoadModel | None = None, owner_weight: int = 49,
+                 step: float = 10.0) -> None:
+        if not 0.0 <= presence_fraction < 1.0:
+            raise LoadModelError(
+                f"presence_fraction must be in [0, 1), got {presence_fraction}")
+        if mean_presence <= 0:
+            raise LoadModelError(
+                f"mean_presence must be > 0, got {mean_presence}")
+        if owner_weight < 1:
+            raise LoadModelError(
+                f"owner_weight must be >= 1, got {owner_weight}")
+        self.presence_fraction = float(presence_fraction)
+        self.mean_presence = float(mean_presence)
+        self.base = base or ConstantLoadModel(0)
+        self.owner_weight = int(owner_weight)
+        self.step = float(step)
+
+    def _presence_model(self) -> OnOffLoadModel:
+        q = min(1.0, self.step / self.mean_presence)
+        if self.presence_fraction == 0.0:
+            p = 0.0
+        else:
+            p = min(1.0, q * self.presence_fraction
+                    / (1.0 - self.presence_fraction))
+        return OnOffLoadModel(p=p, q=q, step=self.step,
+                              n_when_on=self.owner_weight)
+
+    def build(self, rng, horizon: float) -> LoadTrace:
+        base_rng, presence_rng = rng.spawn(2)
+        base_trace = self.base.build(base_rng, horizon)
+        presence_trace = self._presence_model().build(presence_rng, horizon)
+
+        def extend(trace: LoadTrace, new_horizon: float) -> None:
+            start = trace.horizon
+            base_trace._ensure(new_horizon)
+            presence_trace._ensure(new_horizon)
+            points = {new_horizon}
+            for child in (base_trace, presence_trace):
+                points.update(t for t in child._times
+                              if start < t <= new_horizon)
+            for t in sorted(points):
+                mid = (max(start, t - 1e-9) + t) / 2.0
+                total = (base_trace.value_at(mid)
+                         + presence_trace.value_at(mid))
+                if t > trace.horizon:
+                    trace.append_segment(t, total)
+                start = t
+
+        first = base_trace.value_at(0.0) + presence_trace.value_at(0.0)
+        trace = LoadTrace([0.0, 1e-12], [first], extender=extend)
+        extend(trace, max(horizon, 1.0))
+        return trace
+
+    def is_revoked(self, trace: LoadTrace, t: float) -> bool:
+        """Whether the owner is present at ``t`` on a built trace."""
+        return trace.value_at(t) >= self.owner_weight
+
+    def describe(self) -> str:
+        return (f"owner-activity(presence={self.presence_fraction:.0%}, "
+                f"session={self.mean_presence:g}s, "
+                f"base={self.base.describe()})")

@@ -1,0 +1,107 @@
+"""Statistics over load traces.
+
+Used by the test-suite to validate the stochastic models against their
+analytic properties (stationary ON fraction, offered utilization, dwell
+times) and by the experiment reports to characterize "environment
+dynamism" quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LoadModelError
+from repro.load.base import LoadTrace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a load trace over a window."""
+
+    window: float
+    """Length of the analysed window in seconds."""
+    mean_load: float
+    """Time-averaged number of competing processes."""
+    mean_availability: float
+    """Time-averaged CPU share of one application process."""
+    max_load: int
+    """Peak number of competing processes."""
+    busy_fraction: float
+    """Fraction of time with at least one competing process."""
+    transition_rate: float
+    """Load changes per second -- the paper's notion of dynamism."""
+    mean_busy_interval: float
+    """Average length of a maximal busy (n >= 1) interval; 0 if never busy."""
+
+
+def trace_stats(trace: LoadTrace, t0: float = 0.0,
+                t1: float | None = None) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace`` over ``[t0, t1]``."""
+    if t1 is None:
+        t1 = trace.horizon
+    if t1 <= t0:
+        raise LoadModelError(f"empty window [{t0}, {t1}]")
+    trace._ensure(t1)
+
+    window = t1 - t0
+    load_integral = 0.0
+    busy_time = 0.0
+    max_load = 0
+    transitions = 0
+    busy_intervals: list[float] = []
+    current_busy_start: float | None = None
+    previous_value: int | None = None
+
+    for start, end, value in trace.segments():
+        lo, hi = max(start, t0), min(end, t1)
+        if hi <= lo:
+            continue
+        span = hi - lo
+        load_integral += span * value
+        max_load = max(max_load, value)
+        if previous_value is not None and value != previous_value:
+            transitions += 1
+        previous_value = value
+        if value >= 1:
+            busy_time += span
+            if current_busy_start is None:
+                current_busy_start = lo
+        else:
+            if current_busy_start is not None:
+                busy_intervals.append(lo - current_busy_start)
+                current_busy_start = None
+    if current_busy_start is not None:
+        busy_intervals.append(t1 - current_busy_start)
+
+    return TraceStats(
+        window=window,
+        mean_load=load_integral / window,
+        mean_availability=trace.mean_availability(t0, t1),
+        max_load=max_load,
+        busy_fraction=busy_time / window,
+        transition_rate=transitions / window,
+        mean_busy_interval=(float(np.mean(busy_intervals))
+                            if busy_intervals else 0.0),
+    )
+
+
+def availability_series(trace: LoadTrace, t0: float, t1: float,
+                        n_points: int = 200) -> "tuple[np.ndarray, np.ndarray]":
+    """Sampled ``(times, availability)`` arrays for plotting (Figs. 2-3)."""
+    if n_points < 2:
+        raise LoadModelError("need at least 2 sample points")
+    times = np.linspace(t0, t1, n_points)
+    values = np.array([trace.availability_at(float(t)) for t in times])
+    return times, values
+
+
+def load_series(trace: LoadTrace, t0: float, t1: float,
+                n_points: int = 200) -> "tuple[np.ndarray, np.ndarray]":
+    """Sampled ``(times, competing process count)`` arrays (Figs. 2-3)."""
+    if n_points < 2:
+        raise LoadModelError("need at least 2 sample points")
+    times = np.linspace(t0, t1, n_points)
+    values = np.array([trace.value_at(float(t)) for t in times])
+    return times, values

@@ -1,0 +1,155 @@
+"""Trace-replay load model (the paper's stated future work).
+
+"Augmenting the simulation with CPU load traces that better reflect
+actual environments will help ensure our policies are beneficial."
+This module lets recorded (timestamp, competing-process-count) samples --
+e.g. converted NWS CPU availability measurements -- drive a host's load,
+optionally cycling when the simulated run outlives the recording.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import LoadModelError
+from repro.load.base import LoadModel, LoadTrace
+
+
+class ReplayLoadModel(LoadModel):
+    """Replays a recorded piecewise-constant load signal.
+
+    Parameters
+    ----------
+    times:
+        Sample timestamps (seconds), strictly increasing, starting at 0.
+    values:
+        Competing-process count holding from each timestamp to the next;
+        one entry per timestamp.  The final value holds until ``duration``.
+    duration:
+        Recording length; defaults to the last timestamp plus the mean
+        sample spacing.
+    cycle:
+        If True (default), the recording repeats end-to-end forever;
+        otherwise the final value holds forever.
+    """
+
+    def __init__(self, times: Sequence[float], values: Sequence[int],
+                 duration: float | None = None, cycle: bool = True) -> None:
+        times = [float(t) for t in times]
+        values = [int(v) for v in values]
+        if not times:
+            raise LoadModelError("empty trace")
+        if len(times) != len(values):
+            raise LoadModelError(
+                f"need len(times) == len(values), got {len(times)} and {len(values)}")
+        if times[0] != 0.0:
+            raise LoadModelError(f"recording must start at t=0, got {times[0]}")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise LoadModelError("timestamps must be strictly increasing")
+        if any(v < 0 for v in values):
+            raise LoadModelError("competing process counts must be >= 0")
+        if duration is None:
+            spacing = times[-1] / max(len(times) - 1, 1) if times[-1] > 0 else 1.0
+            duration = times[-1] + max(spacing, 1e-9)
+        if duration <= times[-1]:
+            raise LoadModelError(
+                f"duration {duration} must exceed last timestamp {times[-1]}")
+        self.times = times
+        self.values = values
+        self.duration = float(duration)
+        self.cycle = bool(cycle)
+
+    @classmethod
+    def from_availability(cls, times: Sequence[float],
+                          availability: Sequence[float],
+                          **kwargs) -> "ReplayLoadModel":
+        """Build from CPU-availability samples in (0, 1].
+
+        Availability ``a`` maps to the nearest competing-process count
+        ``round(1/a) - 1`` -- the inverse of the fair-share model.
+        """
+        values = []
+        for a in availability:
+            if not 0.0 < a <= 1.0:
+                raise LoadModelError(f"availability must be in (0, 1], got {a}")
+            values.append(max(0, round(1.0 / a) - 1))
+        return cls(times, values, **kwargs)
+
+    @classmethod
+    def diurnal(cls, work_load: int = 1, busy_hours: float = 8.0,
+                day_hours: float = 24.0, lunch_hours: float = 1.0,
+                phase_hours: float = 0.0) -> "ReplayLoadModel":
+        """A synthetic office workday: busy mornings/afternoons, idle
+        nights, an idle lunch break -- cycled daily.
+
+        The paper's validation platform was "a production intranet at a
+        Hewlett-Packard research and development facility [where] most of
+        the workstations ... are used as personal computers"; this preset
+        approximates that diurnal usage for trace-replay studies.
+        ``phase_hours`` shifts the pattern (owners with different hours).
+        """
+        hour = 3600.0
+        day = day_hours * hour
+        if not 0 < lunch_hours < busy_hours < day_hours:
+            raise LoadModelError(
+                "need 0 < lunch_hours < busy_hours < day_hours")
+        start = ((9.0 + phase_hours) % day_hours) * hour  # work starts 9am
+        half = (busy_hours - lunch_hours) / 2.0 * hour
+        lunch = lunch_hours * hour
+        # Busy intervals in unwrapped time, then folded into [0, day).
+        busy: "list[tuple[float, float]]" = []
+        for a, b in ((start, start + half),
+                     (start + half + lunch, start + busy_hours * hour)):
+            a, b = a % day, a % day + (b - a)
+            if b <= day:
+                busy.append((a, b))
+            else:  # crosses midnight: split
+                busy.append((a, day))
+                busy.append((0.0, b - day))
+        busy.sort()
+        breakpoints, values = [0.0], [0]
+        for a, b in busy:
+            for t, value in ((a, work_load), (b, 0)):
+                if t >= day:
+                    continue
+                if t == breakpoints[-1]:
+                    values[-1] = value
+                else:
+                    breakpoints.append(t)
+                    values.append(value)
+        return cls(breakpoints, values, duration=day, cycle=True)
+
+    def build(self, rng, horizon: float) -> LoadTrace:
+        # rng is accepted for interface uniformity but unused: replay is
+        # deterministic by construction.
+        del rng
+
+        def extend(trace: LoadTrace, new_horizon: float) -> None:
+            while trace.horizon < new_horizon:
+                base = trace.horizon
+                if not self.cycle and base >= self.duration:
+                    # The recording played once; the final value holds.
+                    trace.append_segment(new_horizon, self.values[-1])
+                    return
+                offset = base % self.duration if self.cycle else base
+                # Index of the sample active at `offset`.
+                idx = 0
+                for i, t in enumerate(self.times):
+                    if t <= offset + 1e-12:
+                        idx = i
+                # Emit the remainder of the current pass of the recording.
+                for i in range(idx, len(self.times)):
+                    seg_end = (self.times[i + 1] if i + 1 < len(self.times)
+                               else self.duration)
+                    end = base - offset + seg_end
+                    if end > trace.horizon:
+                        trace.append_segment(end, self.values[i])
+
+        trace = LoadTrace([0.0, 1e-12], [self.values[0]], extender=extend)
+        extend(trace, max(horizon, 1.0))
+        return trace
+
+    def describe(self) -> str:
+        mode = "cyclic" if self.cycle else "hold-last"
+        return (f"replay({len(self.times)} samples over "
+                f"{self.duration:g}s, {mode})")

@@ -1,0 +1,26 @@
+"""A Network-Weather-Service-style measurement and forecasting substrate.
+
+The paper's runtime "use[s] application and environmental measurements
+(e.g. via the NWS, Autopilot, or MDS) to improve application
+performance".  This package reproduces the relevant NWS ideas:
+
+* **sensors** (:mod:`repro.nws.sensors`) -- periodic CPU-availability and
+  link-bandwidth probes producing timestamped measurement series;
+* **dynamic predictor selection** (:mod:`repro.nws.forecasting`) -- a
+  bank of simple forecasters raced against each other *online*: every new
+  measurement first scores each method's one-step-ahead prediction, then
+  updates it; queries are answered by the currently most accurate method
+  together with an error estimate (NWS's headline design).
+"""
+
+from repro.nws.forecasting import BankMonitor, Forecast, ForecasterBank
+from repro.nws.sensors import BandwidthSensor, CpuSensor, MeasurementSeries
+
+__all__ = [
+    "BandwidthSensor",
+    "BankMonitor",
+    "CpuSensor",
+    "Forecast",
+    "ForecasterBank",
+    "MeasurementSeries",
+]

@@ -1,0 +1,103 @@
+"""Measurement sensors: periodic probes of hosts and links.
+
+A sensor turns the simulation's ground truth (load traces, link state)
+into the *sampled* view a real monitoring system would have -- the swap
+manager never sees a trace, only probe series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.platform.host import Host
+from repro.platform.network import LinkSpec
+
+
+@dataclass
+class MeasurementSeries:
+    """A bounded timestamped series of sensor readings."""
+
+    name: str
+    max_length: int = 1024
+    times: "list[float]" = field(default_factory=list)
+    values: "list[float]" = field(default_factory=list)
+
+    def append(self, t: float, value: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ReproError(
+                f"measurement at t={t} is older than the newest sample")
+        self.times.append(float(t))
+        self.values.append(float(value))
+        if len(self.times) > self.max_length:
+            del self.times[0]
+            del self.values[0]
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def last(self) -> float:
+        if not self.values:
+            raise ReproError(f"series {self.name!r} is empty")
+        return self.values[-1]
+
+    def window(self, t0: float, t1: float) -> "list[tuple[float, float]]":
+        """Samples with ``t0 <= t <= t1``."""
+        return [(t, v) for t, v in zip(self.times, self.values)
+                if t0 <= t <= t1]
+
+
+class CpuSensor:
+    """Periodic CPU-availability probe of one host (the NWS CPU sensor).
+
+    ``sample_range(t0, t1)`` materializes every probe in a window -- the
+    deterministic batch form used by offline studies; the DES swap
+    handlers perform the same measurement live.
+    """
+
+    def __init__(self, host: Host, period: float = 10.0) -> None:
+        if period <= 0:
+            raise ReproError(f"probe period must be > 0, got {period}")
+        self.host = host
+        self.period = float(period)
+        self.series = MeasurementSeries(name=f"cpu:{host.name}")
+
+    def probe(self, t: float) -> float:
+        """Take one availability reading at ``t`` and record it."""
+        value = self.host.availability(t)
+        self.series.append(t, value)
+        return value
+
+    def sample_range(self, t0: float, t1: float) -> MeasurementSeries:
+        """Probe every ``period`` seconds across ``[t0, t1]``."""
+        t = t0
+        while t <= t1:
+            self.probe(t)
+            t += self.period
+        return self.series
+
+
+class BandwidthSensor:
+    """Link-bandwidth probe: times a fixed-size transfer (NWS style).
+
+    Against the analytic :class:`LinkSpec` the reading reflects the probe
+    overhead (latency amortization); against a live
+    :class:`~repro.platform.network.FairShareLink` it additionally sees
+    contention from concurrent flows.
+    """
+
+    def __init__(self, link: LinkSpec, probe_bytes: float = 64_000.0) -> None:
+        if probe_bytes <= 0:
+            raise ReproError(f"probe size must be > 0, got {probe_bytes}")
+        self.link = link
+        self.probe_bytes = float(probe_bytes)
+        self.series = MeasurementSeries(name="bandwidth")
+
+    def probe(self, t: float, concurrent_flows: int = 0) -> float:
+        """One effective-bandwidth reading in bytes/s at time ``t``."""
+        share = self.link.bandwidth / (1 + max(concurrent_flows, 0))
+        duration = self.link.latency + self.probe_bytes / share
+        value = self.probe_bytes / duration
+        self.series.append(t, value)
+        return value

@@ -1,0 +1,21 @@
+"""Platform model: heterogeneous hosts and a shared network link.
+
+Reproduces the paper's simulated environment (its Section 6): workstations
+"in the hundreds-of-megaflops performance range ... connected via a low
+latency shared communication link capable of transferring 6 MB/s", with
+MPI startup of 3/4 second per process, and per-host external CPU load
+drawn from a :mod:`repro.load` model.
+"""
+
+from repro.platform.host import Host, HostSpec
+from repro.platform.network import FairShareLink, LinkSpec
+from repro.platform.cluster import Platform, make_platform
+
+__all__ = [
+    "FairShareLink",
+    "Host",
+    "HostSpec",
+    "LinkSpec",
+    "Platform",
+    "make_platform",
+]

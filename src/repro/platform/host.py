@@ -1,0 +1,104 @@
+"""Hosts: heterogeneous workstations with time-varying external load.
+
+A host has an unloaded ``speed`` in flop/s and a :class:`LoadTrace` giving
+the number of external compute-bound processes over time.  Under fair CPU
+timesharing one application process computes at ``speed / (1 + n(t))``.
+The two simulator-facing operations -- finish time of a compute demand and
+(window-averaged) effective rate -- are exact trace-segment walks, not
+time-stepped approximations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlatformError
+from repro.load.base import ConstantLoadModel, LoadModel, LoadTrace
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static description of a workstation."""
+
+    name: str
+    """Unique host name (e.g. ``"host03"``)."""
+    speed: float
+    """Unloaded compute speed in flop/s."""
+    load_model: LoadModel = field(default_factory=ConstantLoadModel)
+    """External CPU load model for this host."""
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise PlatformError(f"host speed must be > 0, got {self.speed}")
+
+
+class Host:
+    """A workstation instantiated with a concrete load trace.
+
+    Parameters
+    ----------
+    spec:
+        Static host description.
+    rng:
+        Random stream for the load model.
+    horizon:
+        Initial trace materialization horizon (extends lazily).
+    index:
+        Position of the host in its platform (set by the platform builder).
+    """
+
+    def __init__(self, spec: HostSpec, rng, horizon: float = 3600.0,
+                 index: int = -1) -> None:
+        self.spec = spec
+        self.index = index
+        self.trace: LoadTrace = spec.load_model.build(rng, horizon)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def speed(self) -> float:
+        """Unloaded compute speed in flop/s."""
+        return self.spec.speed
+
+    # -- load-aware compute ----------------------------------------------
+
+    def availability(self, t: float) -> float:
+        """Instantaneous CPU share of one application process at ``t``."""
+        return self.trace.availability_at(t)
+
+    def effective_rate(self, t: float, window: float = 0.0) -> float:
+        """Effective compute rate in flop/s, averaged over ``[t-window, t]``.
+
+        ``window == 0`` gives the instantaneous rate.  This is the
+        quantity the swap runtime measures for *inactive* (spare)
+        processors, and the forecast basis for swap decisions.
+        """
+        if window < 0:
+            raise PlatformError(f"negative window {window}")
+        t0 = max(0.0, t - window)
+        return self.speed * self.trace.mean_availability(t0, t)
+
+    def compute_finish(self, t0: float, flops: float) -> float:
+        """Time at which ``flops`` of work started at ``t0`` completes."""
+        if flops < 0:
+            raise PlatformError(f"negative compute demand {flops}")
+        return self.trace.advance_work(t0, flops / self.speed)
+
+    def compute_time(self, t0: float, flops: float) -> float:
+        """Duration of ``flops`` of work started at ``t0``."""
+        return self.compute_finish(t0, flops) - t0
+
+    def measured_rate(self, t0: float, t1: float, flops: float) -> float:
+        """Observed flop/s of a task that ran ``flops`` over ``[t0, t1]``.
+
+        This is what an application-intrinsic monitor reports for an
+        *active* process after an iteration.
+        """
+        if t1 <= t0:
+            raise PlatformError(f"empty measurement interval [{t0}, {t1}]")
+        return flops / (t1 - t0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Host {self.name!r} speed={self.speed:.3g} flop/s>"

@@ -1,0 +1,185 @@
+"""The shared network link.
+
+The paper simulates "a single, shared network link with latency alpha and
+bandwidth beta.  Thus messages compete for a fixed amount of communication
+bandwidth, and collisions delay message transmission."
+
+Two views of the same medium:
+
+* :class:`LinkSpec` -- analytic helpers used by the iteration-level
+  strategy simulators (transfer time, serialized bulk phases, the paper's
+  ``swap_time = alpha + size/beta``);
+* :class:`FairShareLink` -- an event-driven flow model for the
+  discrete-event MPI layer: concurrent flows each receive
+  ``bandwidth / n_active``, recomputed whenever a flow starts or ends
+  (max-min fair sharing on one bottleneck, as in SimGrid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import PlatformError
+from repro.simkernel.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simkernel.engine import Simulator
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Analytic description of the shared link."""
+
+    latency: float = 1e-3
+    """One-way message latency alpha in seconds."""
+    bandwidth: float = 6e6
+    """Shared bandwidth beta in bytes/s (paper: 6 MB/s 100baseT LAN)."""
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise PlatformError(f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise PlatformError(f"bandwidth must be > 0, got {self.bandwidth}")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time for one message with the link to itself: ``alpha + n/beta``.
+
+        This is exactly the paper's ``swap time`` formula for moving one
+        process state image.
+        """
+        if nbytes < 0:
+            raise PlatformError(f"negative message size {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+    def serialized_time(self, total_bytes: float, n_messages: int = 1) -> float:
+        """Time for ``n_messages`` totalling ``total_bytes`` on the shared
+        medium.
+
+        Payloads serialize on the single link; latencies pipeline so only
+        one is paid (first-order model of the paper's collision delays).
+        """
+        if n_messages < 1:
+            raise PlatformError(f"need >= 1 message, got {n_messages}")
+        if total_bytes < 0:
+            raise PlatformError(f"negative total size {total_bytes}")
+        return self.latency + total_bytes / self.bandwidth
+
+    def exchange_phase_time(self, per_process_bytes: float, n_processes: int) -> float:
+        """Duration of an iteration's communication phase.
+
+        Each of the ``n_processes`` application processes moves
+        ``per_process_bytes`` across the shared medium; total traffic
+        serializes on the link.
+        """
+        if n_processes < 1:
+            raise PlatformError(f"need >= 1 process, got {n_processes}")
+        if n_processes == 1 or per_process_bytes == 0:
+            return 0.0  # nothing to exchange
+        return self.serialized_time(per_process_bytes * n_processes, n_processes)
+
+
+class _Flow:
+    """A single in-progress transfer on a :class:`FairShareLink`."""
+
+    __slots__ = ("remaining", "done")
+
+    def __init__(self, nbytes: float, done: Event) -> None:
+        self.remaining = float(nbytes)
+        self.done = done
+
+
+class FairShareLink:
+    """Event-driven shared link with max-min fair bandwidth sharing.
+
+    Each transfer pays the latency once, then its payload progresses at
+    ``bandwidth / n_active_flows``; rates are recomputed whenever a flow
+    joins or leaves.
+    """
+
+    def __init__(self, sim: "Simulator", spec: LinkSpec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self._flows: list[_Flow] = []
+        self._last_update = sim.now
+        self._wake_version = 0
+        #: Total bytes delivered so far (diagnostic / tests).
+        self.bytes_delivered = 0.0
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def transfer(self, nbytes: float) -> Event:
+        """Start a transfer; the returned event fires on completion."""
+        if nbytes < 0:
+            raise PlatformError(f"negative message size {nbytes}")
+        done = self.sim.event()
+        if self.spec.latency > 0:
+            latency_done = self.sim.timeout(self.spec.latency)
+            latency_done.add_callback(lambda _ev: self._admit(nbytes, done))
+        else:
+            self._admit(nbytes, done)
+        return done
+
+    # -- internals --------------------------------------------------------
+
+    def _admit(self, nbytes: float, done: Event) -> None:
+        self._progress()
+        if nbytes <= 0:
+            done.succeed()
+            self._reschedule()
+            return
+        self._flows.append(_Flow(nbytes, done))
+        self._reschedule()
+
+    def _rate_per_flow(self) -> float:
+        return self.spec.bandwidth / max(len(self._flows), 1)
+
+    def _progress(self) -> None:
+        """Advance all flows from the last update to now; complete any done.
+
+        Also runs with zero elapsed time: floating-point residue can leave
+        a flow with epsilon bytes remaining at its own completion instant,
+        and it must still complete (otherwise the wake timer respins at
+        the same timestamp forever).
+        """
+        now = self.sim.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if not self._flows:
+            return
+        moved = max(elapsed, 0.0) * self._rate_per_flow()
+        still_running: list[_Flow] = []
+        for flow in self._flows:
+            progress = min(moved, flow.remaining)
+            flow.remaining -= progress
+            self.bytes_delivered += progress
+            if flow.remaining <= 1e-9:
+                self.bytes_delivered += flow.remaining
+                flow.remaining = 0.0
+                flow.done.succeed()
+            else:
+                still_running.append(flow)
+        self._flows = still_running
+
+    def _reschedule(self) -> None:
+        """Schedule a wake-up at the earliest flow completion."""
+        self._wake_version += 1
+        if not self._flows:
+            return
+        version = self._wake_version
+        shortest = min(flow.remaining for flow in self._flows)
+        delay = shortest / self._rate_per_flow()
+        # Never schedule below the float resolution of the clock: a wake
+        # that does not advance time cannot progress any flow.
+        min_tick = max(abs(self.sim.now) * 1e-12, 1e-9)
+        wake = self.sim.timeout(max(delay, min_tick))
+
+        def on_wake(_event: Event) -> None:
+            if version != self._wake_version:
+                return  # stale: flow set changed since this was scheduled
+            self._progress()
+            self._reschedule()
+
+        wake.add_callback(on_wake)

@@ -1,0 +1,138 @@
+"""The discrete-event simulation loop.
+
+:class:`Simulator` owns the simulated clock and the event heap.  Events are
+ordered by ``(time, priority, sequence)`` so that same-time events run in a
+deterministic order, which makes whole simulations reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.simkernel.events import NORMAL, Event, Timeout
+from repro.simkernel.process import Process
+
+
+class Simulator:
+    """Discrete-event simulator: clock, heap, and factory methods.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> def proc(sim):
+    ...     yield sim.timeout(3.0)
+    ...     return "done"
+    >>> p = sim.process(proc(sim))
+    >>> sim.run()
+    >>> sim.now, p.value
+    (3.0, 'done')
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        #: Number of events processed so far (diagnostic).
+        self.processed_events = 0
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int = NORMAL,
+                  delay: float = 0.0) -> None:
+        """Insert a triggered event into the heap (internal)."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule into the past (delay={delay})")
+        if event._scheduled:
+            raise SchedulingError(f"{event!r} is already scheduled")
+        event._scheduled = True
+        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("no more events to process")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        self.processed_events += 1
+        if not event.ok and not event._defused:
+            exc = event.value
+            raise exc
+
+    # -- run loop ---------------------------------------------------------
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` -- run until no events remain.
+            * a number -- run until the clock reaches that time.
+            * an :class:`Event` -- run until that event is processed and
+              return its value.
+        """
+        until_event: Optional[Event] = None
+        until_time = float("inf")
+        if isinstance(until, Event):
+            until_event = until
+            if until_event.processed:
+                return until_event.value
+        elif until is not None:
+            until_time = float(until)
+            if until_time < self._now:
+                raise SchedulingError(
+                    f"cannot run until t={until_time} < now={self._now}")
+
+        while self._heap:
+            if until_event is not None and until_event.processed:
+                return until_event.value
+            if self.peek() > until_time:
+                self._now = until_time
+                return None
+            self.step()
+
+        if until_event is not None:
+            if until_event.processed:
+                return until_event.value
+            raise SimulationError(
+                "simulation ran out of events before the 'until' event fired")
+        if until_time != float("inf"):
+            self._now = until_time
+        return None
+
+    # -- factories --------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        """Start a new coroutine process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now:.6g} pending={len(self._heap)}>"

@@ -1,0 +1,199 @@
+"""Waitable events for the simulation kernel.
+
+An :class:`Event` is a one-shot condition that processes can wait on by
+``yield``-ing it.  Events carry a value (delivered to the waiter) or an
+exception (re-raised in the waiter).  :class:`Timeout` is an event that
+fires after a fixed simulated delay; :class:`AnyOf`/:class:`AllOf` compose
+events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.errors import ProcessError, SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simkernel.engine import Simulator
+
+#: Scheduling priorities: lower runs first at equal timestamps.  URGENT is
+#: used for internal bookkeeping (e.g. resource releases) so that state
+#: changes are visible to normally-scheduled events at the same instant.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot waitable condition.
+
+    Parameters
+    ----------
+    sim:
+        The simulator this event belongs to.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    #: Sentinel for "no value yet".
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: Callbacks invoked (in order) when the event is processed.
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = Event._PENDING
+        self._ok: bool = True
+        self._scheduled = False
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has a value and is (or will be) scheduled."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (valid once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception).  Raises if still pending."""
+        if self._value is Event._PENDING:
+            raise ProcessError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise ProcessError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, re-raised in waiters."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise ProcessError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, priority=NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event.
+
+        Useful as a callback: ``other.add_callback(this.trigger)``.
+        """
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            event.defuse()
+            self.fail(event.value)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event fires.
+
+        If the event was already processed the callback runs immediately.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SchedulingError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        sim._schedule(self, priority=NORMAL, delay=self.delay)
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = tuple(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SchedulingError("cannot mix events from different simulators")
+        self._count = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e.value for e in self.events if e.processed and e.ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defuse()
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._satisfied():
+            # Collect values of events that actually fired by now (a
+            # pending Timeout is "triggered" from birth but has not fired).
+            self.succeed({e: e.value for e in self.events
+                          if e.processed and e.ok})
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when any constituent event fires."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class AllOf(_Condition):
+    """Fires when all constituent events have fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= len(self.events)

@@ -1,0 +1,133 @@
+"""Coroutine processes for the simulation kernel.
+
+A :class:`Process` drives a Python generator: each ``yield`` must produce
+an :class:`~repro.simkernel.events.Event`, and the process resumes when
+that event fires, receiving the event's value.  A process is itself an
+event that fires when the generator returns (with its return value) or
+raises.
+
+Processes can be interrupted: :meth:`Process.interrupt` raises
+:class:`Interrupt` inside the generator at its current wait point, which
+the generator may catch to model preemption (e.g. a compute task whose
+host's load changed).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import ProcessError
+from repro.simkernel.events import URGENT, Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simkernel.engine import Simulator
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> Any:
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0] if self.args else None
+
+
+class _Initialize(Event):
+    """Internal event used to start a process at the current time."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running coroutine; also an event that fires on termination."""
+
+    __slots__ = ("generator", "name", "_target")
+
+    def __init__(self, sim: "Simulator", generator: Generator,
+                 name: str | None = None) -> None:
+        if not hasattr(generator, "throw"):
+            raise ProcessError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process currently waits on (None before start /
+        #: after termination).
+        self._target: Event | None = _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator has not yet terminated."""
+        return self._value is Event._PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt(cause)` inside the process.
+
+        The interrupt is delivered immediately (synchronously): the target
+        event the process was waiting on remains pending, and the process
+        may re-wait on it.
+        """
+        if not self.is_alive:
+            raise ProcessError(f"{self!r} has terminated and cannot be interrupted")
+        if self._target is None or isinstance(self._target, _Initialize):
+            raise ProcessError(f"{self!r} has not yet started waiting")
+        target, self._target = self._target, None
+        # Stop listening on the old target; it may still fire later.
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._deliver(Interrupt(cause), is_exception=True)
+
+    # -- internal ---------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Callback: the awaited event fired; advance the generator."""
+        self._target = None
+        if event.ok:
+            self._deliver(event.value, is_exception=False)
+        else:
+            event.defuse()
+            self._deliver(event.value, is_exception=True)
+
+    def _deliver(self, value: Any, is_exception: bool) -> None:
+        try:
+            if is_exception:
+                target = self.generator.throw(value)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as interrupt:
+            # An uncaught interrupt terminates the process with failure.
+            self.fail(interrupt)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            exc = ProcessError(
+                f"process {self.name!r} yielded a non-event: {target!r}")
+            try:
+                self.generator.throw(exc)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as inner:
+                self.fail(inner)
+            return
+        if target.sim is not self.sim:
+            self.fail(ProcessError(
+                f"process {self.name!r} yielded an event from another simulator"))
+            return
+        self._target = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.is_alive else "done"
+        return f"<Process {self.name!r} {state}>"

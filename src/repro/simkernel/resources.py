@@ -1,0 +1,167 @@
+"""Synchronization primitives built on the event kernel.
+
+* :class:`Resource` -- a counted semaphore with a FIFO wait queue
+  (models exclusive access to, e.g., a shared medium token).
+* :class:`Store` -- an unbounded FIFO buffer of items with blocking gets.
+* :class:`Mailbox` -- a :class:`Store` whose gets can filter on a
+  predicate; this is the substrate for simulated MPI message matching
+  (source / tag / communicator).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.simkernel.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simkernel.engine import Simulator
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request from the queue."""
+        if not self.triggered and self in self.resource._queue:
+            self.resource._queue.remove(self)
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Number of simultaneous holders (>= 1).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._queue: deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Ask for a slot; yield the returned event to wait for it."""
+        return Request(self)
+
+    def release(self) -> None:
+        """Return a previously granted slot."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching granted request")
+        self._in_use -= 1
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._queue and self._in_use < self.capacity:
+            request = self._queue.popleft()
+            self._in_use += 1
+            request.succeed(self)
+
+
+class _Get(Event):
+    """Pending retrieval from a :class:`Store` / :class:`Mailbox`."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, sim: "Simulator",
+                 predicate: Optional[Callable[[Any], bool]]) -> None:
+        super().__init__(sim)
+        self.predicate = predicate
+
+    def matches(self, item: Any) -> bool:
+        return self.predicate is None or self.predicate(item)
+
+
+class Store:
+    """Unbounded FIFO buffer with blocking gets.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the
+    oldest item once one is available.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._items: deque[Any] = deque()
+        self._getters: deque[_Get] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item`` and wake a matching waiter, if any."""
+        self._items.append(item)
+        self._dispatch()
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        getter = _Get(self.sim, None)
+        self._getters.append(getter)
+        self._dispatch()
+        return getter
+
+    def _dispatch(self) -> None:
+        while self._getters and self._items:
+            matched = self._match()
+            if matched is None:
+                return
+            getter, item = matched
+            self._getters.remove(getter)
+            self._items.remove(item)
+            getter.succeed(item)
+
+    def _match(self) -> Optional[tuple[_Get, Any]]:
+        """First (getter, item) pair that matches, in getter FIFO order."""
+        for getter in self._getters:
+            for item in self._items:
+                if getter.matches(item):
+                    return getter, item
+        return None
+
+
+class Mailbox(Store):
+    """A :class:`Store` supporting predicate-filtered gets.
+
+    Used by the simulated MPI layer: a receive posts a get whose predicate
+    checks (source, tag, communicator) against queued message envelopes.
+    Messages that match no pending receive stay queued ("unexpected
+    message queue" in MPI parlance).
+    """
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Return an event firing with the oldest item matching ``predicate``."""
+        getter = _Get(self.sim, predicate)
+        self._getters.append(getter)
+        self._dispatch()
+        return getter
+
+    def peek_count(self, predicate: Optional[Callable[[Any], bool]] = None) -> int:
+        """Number of queued items matching ``predicate`` (non-blocking)."""
+        if predicate is None:
+            return len(self._items)
+        return sum(1 for item in self._items if predicate(item))

@@ -1,0 +1,39 @@
+"""A simulated MPI subset ("smpi") on the discrete-event kernel.
+
+The paper's mechanism (from the authors' earlier tech report) is "a
+sleight-of-hand played in MPI user space": over-allocated processes, two
+private communicators, and hijacked MPI calls.  To reproduce that
+mechanism faithfully -- and testably -- this package provides an MPI-1
+style programming model whose processes are simulation coroutines:
+
+* ranks, groups and :class:`~repro.smpi.comm.Communicator` objects
+  (including communicator splitting, which the swap runtime uses for its
+  two private communicators);
+* blocking and non-blocking point-to-point messaging with
+  (source, tag, communicator) matching, carried over the shared
+  :class:`~repro.platform.network.FairShareLink`;
+* collectives (barrier, bcast, reduce, allreduce, gather, scatter,
+  allgather) built from point-to-point trees;
+* a per-process MPI startup cost (0.75 s/process, as the paper measured).
+
+User code is a generator function taking an :class:`~repro.smpi.api.Rank`
+handle; every communication or compute call is ``yield from``-ed, exactly
+like blocking MPI calls.
+"""
+
+from repro.smpi.comm import Communicator, Group
+from repro.smpi.datatypes import ANY_SOURCE, ANY_TAG, Message, Status
+from repro.smpi.runtime import MpiJob, MpiRuntime
+from repro.smpi.api import Rank
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Group",
+    "Message",
+    "MpiJob",
+    "MpiRuntime",
+    "Rank",
+    "Status",
+]

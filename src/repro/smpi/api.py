@@ -1,0 +1,291 @@
+"""The per-rank MPI programming interface.
+
+A :class:`Rank` is the handle user coroutines receive; its blocking
+operations are generators and must be ``yield from``-ed::
+
+    def main(rank):
+        yield from rank.compute(1e9)
+        if rank.world_rank == 0:
+            yield from rank.send(1, nbytes=1e6, payload="hello")
+        else:
+            msg = yield from rank.recv(source=0)
+        yield from rank.barrier()
+
+Point-to-point uses an eager protocol: the payload crosses the shared
+link (paying latency and its fair bandwidth share) and is then queued at
+the receiver, where it matches posted receives MPI-style on
+(communicator, source, tag).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.errors import MpiError
+from repro.simkernel.events import Event
+from repro.smpi.comm import Communicator
+from repro.smpi.datatypes import ANY_SOURCE, ANY_TAG, Message, Status, match
+from repro.smpi.runtime import COLLECTIVE_TAG_BASE, MpiRuntime
+
+
+class Rank:
+    """One MPI process's view of the runtime."""
+
+    def __init__(self, runtime: MpiRuntime, world_rank: int) -> None:
+        self.runtime = runtime
+        self.world_rank = world_rank
+        self.host = runtime.host_of(world_rank)
+        #: Per-communicator collective sequence numbers (must advance in
+        #: the same order on every rank -- the usual MPI requirement).
+        self._collective_seq: "dict[int, int]" = {}
+
+    # -- basics ----------------------------------------------------------
+
+    @property
+    def comm_world(self) -> Communicator:
+        return self.runtime.world
+
+    @property
+    def now(self) -> float:
+        return self.runtime.sim.now
+
+    def sleep(self, seconds: float) -> Generator:
+        """Idle for ``seconds`` of simulated time."""
+        yield self.runtime.sim.timeout(seconds)
+
+    def compute(self, flops: float) -> Generator:
+        """Burn ``flops`` at this host's time-varying effective speed."""
+        finish = self.host.compute_finish(self.now, flops)
+        yield self.runtime.sim.timeout(finish - self.now)
+
+    # -- point-to-point ----------------------------------------------------
+
+    def _resolve(self, comm: Communicator | None) -> Communicator:
+        comm = comm or self.comm_world
+        if not comm.contains(self.world_rank):
+            raise MpiError(
+                f"world rank {self.world_rank} is not in {comm.name!r}")
+        return comm
+
+    def send(self, dest: int, nbytes: float = 0.0, payload: Any = None,
+             tag: int = 0, comm: Communicator | None = None) -> Generator:
+        """Blocking send to local rank ``dest`` of ``comm``."""
+        comm = self._resolve(comm)
+        if tag >= COLLECTIVE_TAG_BASE:
+            raise MpiError(f"user tags must be < {COLLECTIVE_TAG_BASE}")
+        yield from self._send_raw(dest, nbytes, payload, tag, comm)
+
+    def _send_raw(self, dest: int, nbytes: float, payload: Any,
+                  tag: int, comm: Communicator) -> Generator:
+        dest_world = comm.world_rank(dest)
+        message = Message(source=comm.rank_of(self.world_rank), dest=dest,
+                          tag=tag, comm_id=comm.context_id,
+                          nbytes=float(nbytes), payload=payload)
+        yield self.runtime.link.transfer(nbytes)
+        self.runtime.mailboxes[dest_world].put(message)
+        self.runtime.messages_delivered += 1
+
+    def isend(self, dest: int, nbytes: float = 0.0, payload: Any = None,
+              tag: int = 0, comm: Communicator | None = None) -> Event:
+        """Non-blocking send; yield the returned event to complete it."""
+        comm = self._resolve(comm)
+        if tag >= COLLECTIVE_TAG_BASE:
+            raise MpiError(f"user tags must be < {COLLECTIVE_TAG_BASE}")
+        return self.runtime.sim.process(
+            self._send_raw(dest, nbytes, payload, tag, comm),
+            name=f"isend{self.world_rank}->{dest}")
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             comm: Communicator | None = None,
+             status: Status | None = None) -> Generator:
+        """Blocking receive; returns the matched :class:`Message`."""
+        event = self.irecv(source=source, tag=tag, comm=comm)
+        message = yield event
+        if status is not None:
+            status.set_from(message)
+        return message
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              comm: Communicator | None = None) -> Event:
+        """Non-blocking receive; the event's value is the Message."""
+        comm = self._resolve(comm)
+        return self.runtime.mailboxes[self.world_rank].get(
+            lambda m: match(m, comm.context_id, source, tag))
+
+    def waitall(self, events) -> Generator:
+        """Wait for several pending operations (MPI_Waitall).
+
+        ``events`` are requests from :meth:`isend` / :meth:`irecv`;
+        returns their values in order.
+        """
+        from repro.simkernel.events import AllOf
+
+        events = list(events)
+        if events:
+            yield AllOf(self.runtime.sim, events)
+        return [event.value for event in events]
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              comm: Communicator | None = None) -> int:
+        """Number of already-queued matching messages (MPI_Iprobe-ish)."""
+        comm = self._resolve(comm)
+        return self.runtime.mailboxes[self.world_rank].peek_count(
+            lambda m: match(m, comm.context_id, source, tag))
+
+    # -- collectives --------------------------------------------------------
+
+    def _coll_tag(self, comm: Communicator) -> int:
+        seq = self._collective_seq.get(comm.context_id, 0)
+        self._collective_seq[comm.context_id] = seq + 1
+        return COLLECTIVE_TAG_BASE + (seq % COLLECTIVE_TAG_BASE)
+
+    def barrier(self, comm: Communicator | None = None) -> Generator:
+        """Linear barrier: gather zero-byte tokens at rank 0, then release."""
+        comm = self._resolve(comm)
+        tag = self._coll_tag(comm)
+        me = comm.rank_of(self.world_rank)
+        if comm.size == 1:
+            return
+        if me == 0:
+            for _ in range(comm.size - 1):
+                yield from self._recv_coll(ANY_SOURCE, tag, comm)
+            for peer in range(1, comm.size):
+                yield from self._send_raw(peer, 0.0, None, tag, comm)
+        else:
+            yield from self._send_raw(0, 0.0, None, tag, comm)
+            yield from self._recv_coll(0, tag, comm)
+
+    def _recv_coll(self, source: int, tag: int,
+                   comm: Communicator) -> Generator:
+        message = yield self.runtime.mailboxes[self.world_rank].get(
+            lambda m: match(m, comm.context_id, source, tag))
+        return message
+
+    def bcast(self, value: Any = None, nbytes: float = 0.0, root: int = 0,
+              comm: Communicator | None = None) -> Generator:
+        """Binomial-tree broadcast; every rank returns the root's value."""
+        comm = self._resolve(comm)
+        tag = self._coll_tag(comm)
+        me = comm.rank_of(self.world_rank)
+        size = comm.size
+        relative = (me - root) % size
+        if relative != 0:
+            message = yield from self._recv_coll(ANY_SOURCE, tag, comm)
+            value = message.payload
+        # Binomial fan-out: after receiving, forward to peers whose
+        # relative rank differs in one higher bit.
+        mask = 1
+        while mask < size:
+            if relative & (mask - 1) == 0 and relative & mask == 0:
+                peer_rel = relative | mask
+                if peer_rel < size:
+                    peer = (peer_rel + root) % size
+                    yield from self._send_raw(peer, nbytes, value, tag, comm)
+            mask <<= 1
+        return value
+
+    def gather(self, value: Any = None, nbytes: float = 0.0, root: int = 0,
+               comm: Communicator | None = None) -> Generator:
+        """Linear gather; root returns the rank-ordered list, others None."""
+        comm = self._resolve(comm)
+        tag = self._coll_tag(comm)
+        me = comm.rank_of(self.world_rank)
+        if me == root:
+            values: "list[Any]" = [None] * comm.size
+            values[me] = value
+            for _ in range(comm.size - 1):
+                message = yield from self._recv_coll(ANY_SOURCE, tag, comm)
+                values[message.source] = message.payload
+            return values
+        yield from self._send_raw(root, nbytes, value, tag, comm)
+        return None
+
+    def scatter(self, values: "list[Any] | None" = None, nbytes: float = 0.0,
+                root: int = 0, comm: Communicator | None = None) -> Generator:
+        """Linear scatter; every rank returns its element of the root list."""
+        comm = self._resolve(comm)
+        tag = self._coll_tag(comm)
+        me = comm.rank_of(self.world_rank)
+        if me == root:
+            if values is None or len(values) != comm.size:
+                raise MpiError(
+                    f"scatter root needs one value per rank ({comm.size})")
+            for peer in range(comm.size):
+                if peer != me:
+                    yield from self._send_raw(peer, nbytes, values[peer],
+                                              tag, comm)
+            return values[me]
+        message = yield from self._recv_coll(root, tag, comm)
+        return message.payload
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any],
+               nbytes: float = 0.0, root: int = 0,
+               comm: Communicator | None = None) -> Generator:
+        """Linear reduce; root returns the folded value, others None."""
+        comm = self._resolve(comm)
+        tag = self._coll_tag(comm)
+        me = comm.rank_of(self.world_rank)
+        if me == root:
+            accumulated = value
+            for _ in range(comm.size - 1):
+                message = yield from self._recv_coll(ANY_SOURCE, tag, comm)
+                accumulated = op(accumulated, message.payload)
+            return accumulated
+        yield from self._send_raw(root, nbytes, value, tag, comm)
+        return None
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any],
+                  nbytes: float = 0.0,
+                  comm: Communicator | None = None) -> Generator:
+        """Reduce to rank 0, then broadcast the result."""
+        comm = self._resolve(comm)
+        reduced = yield from self.reduce(value, op, nbytes=nbytes, root=0,
+                                         comm=comm)
+        result = yield from self.bcast(reduced, nbytes=nbytes, root=0,
+                                       comm=comm)
+        return result
+
+    def allgather(self, value: Any, nbytes: float = 0.0,
+                  comm: Communicator | None = None) -> Generator:
+        """Gather to rank 0, then broadcast the list."""
+        comm = self._resolve(comm)
+        gathered = yield from self.gather(value, nbytes=nbytes, root=0,
+                                          comm=comm)
+        result = yield from self.bcast(gathered,
+                                       nbytes=nbytes * max(comm.size, 1),
+                                       root=0, comm=comm)
+        return result
+
+    def alltoall(self, values: "list[Any]", nbytes: float = 0.0,
+                 comm: Communicator | None = None) -> Generator:
+        """Personalized all-to-all: rank ``i`` sends ``values[j]`` to
+        rank ``j`` and returns the list of items addressed to it,
+        ordered by source rank.
+
+        Sends are posted non-blocking first, then receives are matched
+        by (source, tag), so all pairwise transfers contend for the
+        shared link concurrently -- the collective the shared-medium
+        model is hardest on.
+        """
+        comm = self._resolve(comm)
+        tag = self._coll_tag(comm)
+        me = comm.rank_of(self.world_rank)
+        size = comm.size
+        if values is None or len(values) != size:
+            raise MpiError(f"alltoall needs one value per rank ({size})")
+        pending = []
+        for peer in range(size):
+            if peer != me:
+                pending.append(self.runtime.sim.process(
+                    self._send_raw(peer, nbytes, values[peer], tag, comm),
+                    name=f"a2a{me}->{peer}"))
+        result: "list[Any]" = [None] * size
+        result[me] = values[me]
+        for _ in range(size - 1):
+            message = yield from self._recv_coll(ANY_SOURCE, tag, comm)
+            result[message.source] = message.payload
+        yield from self.waitall(pending)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Rank {self.world_rank} on {self.host.name}>"

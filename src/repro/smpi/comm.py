@@ -1,0 +1,104 @@
+"""Groups and communicators.
+
+A :class:`Group` is an ordered set of *world ranks*; a
+:class:`Communicator` binds a group to a context id so that traffic on
+different communicators never matches.  The swap runtime relies on this:
+"we have used ... two private MPI communicators.  All inter-process
+communication uses standard MPI calls, over these two private MPI
+communicators and over MPI_COMM_WORLD."
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Iterable, Sequence
+
+from repro.errors import CommunicatorError
+
+_context_ids = count(1)
+
+
+class Group:
+    """An ordered, duplicate-free set of world ranks."""
+
+    __slots__ = ("_members", "_index")
+
+    def __init__(self, members: Iterable[int]) -> None:
+        members = tuple(int(m) for m in members)
+        if len(set(members)) != len(members):
+            raise CommunicatorError(f"duplicate ranks in group: {members}")
+        if any(m < 0 for m in members):
+            raise CommunicatorError(f"negative world rank in group: {members}")
+        self._members = members
+        self._index = {world: local for local, world in enumerate(members)}
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> "tuple[int, ...]":
+        return self._members
+
+    def rank_of(self, world_rank: int) -> int:
+        """Local rank of a world rank; raises if not a member."""
+        try:
+            return self._index[world_rank]
+        except KeyError:
+            raise CommunicatorError(
+                f"world rank {world_rank} is not in this group") from None
+
+    def world_rank(self, local_rank: int) -> int:
+        """World rank behind a local rank."""
+        if not 0 <= local_rank < self.size:
+            raise CommunicatorError(
+                f"local rank {local_rank} out of range [0, {self.size})")
+        return self._members[local_rank]
+
+    def contains(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Group{self._members}"
+
+
+class Communicator:
+    """A group plus a private context id."""
+
+    __slots__ = ("group", "context_id", "name")
+
+    def __init__(self, group: Group, name: str = "comm") -> None:
+        self.group = group
+        self.context_id = next(_context_ids)
+        self.name = name
+
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    def rank_of(self, world_rank: int) -> int:
+        return self.group.rank_of(world_rank)
+
+    def world_rank(self, local_rank: int) -> int:
+        return self.group.world_rank(local_rank)
+
+    def contains(self, world_rank: int) -> bool:
+        return self.group.contains(world_rank)
+
+    def sub(self, world_ranks: Sequence[int], name: str | None = None,
+            ) -> "Communicator":
+        """A new communicator over a subset of this one's world ranks.
+
+        The MPI analogue is ``MPI_Comm_create``; the swap runtime uses it
+        to build its active/spare private communicators.
+        """
+        for world in world_ranks:
+            if not self.contains(world):
+                raise CommunicatorError(
+                    f"world rank {world} is not in {self.name!r}")
+        return Communicator(Group(world_ranks),
+                            name=name or f"{self.name}.sub")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Communicator {self.name!r} size={self.size} "
+                f"ctx={self.context_id}>")

@@ -1,0 +1,65 @@
+"""Message envelopes and matching wildcards for the simulated MPI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import MpiError
+
+#: Match any sender in a receive (MPI_ANY_SOURCE).
+ANY_SOURCE = -1
+
+#: Match any tag in a receive (MPI_ANY_TAG).
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight or delivered message envelope.
+
+    ``payload`` is arbitrary Python data (the simulation does not copy
+    it); ``nbytes`` is the modelled wire size that determined the
+    transfer time.
+    """
+
+    source: int
+    """Sender's rank within the carrying communicator."""
+    dest: int
+    """Receiver's rank within the carrying communicator."""
+    tag: int
+    comm_id: int
+    """Context id of the carrying communicator (isolates traffic)."""
+    nbytes: float
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.tag < 0:
+            raise MpiError(f"message tags must be >= 0, got {self.tag}")
+        if self.nbytes < 0:
+            raise MpiError(f"negative message size {self.nbytes}")
+
+
+@dataclass
+class Status:
+    """Receive status (MPI_Status): who sent, which tag, how big."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    nbytes: float = 0.0
+
+    def set_from(self, message: Message) -> None:
+        self.source = message.source
+        self.tag = message.tag
+        self.nbytes = message.nbytes
+
+
+def match(message: Message, comm_id: int, source: int, tag: int) -> bool:
+    """MPI matching rule for a posted receive."""
+    if message.comm_id != comm_id:
+        return False
+    if source != ANY_SOURCE and message.source != source:
+        return False
+    if tag != ANY_TAG and message.tag != tag:
+        return False
+    return True

@@ -1,0 +1,95 @@
+"""Checkpoint/restart (the paper's "CR" technique).
+
+"At each iteration, the execution rate is analyzed.  If performance can
+be increased by using another set of processors, based on the same
+criteria used to evaluate process swapping decisions, the application is
+checkpointed. ... application state information is written to a central
+location.  Upon application restart, the checkpoint is read by each
+process, and execution resumes.  Our simulations account for the overhead
+of writing and reading the checkpoint" plus the MPI startup of the
+restarted processes.
+
+Unlike SWAP, CR is not restricted to pairwise exchanges: a restart may
+move the whole application to the ``N`` currently-fastest hosts of the
+pool.  It pays for that freedom with a much larger reconfiguration cost
+(2 x N state images over the shared link, plus startup).
+"""
+
+from __future__ import annotations
+
+from repro.app.iterative import ApplicationSpec
+from repro.core.decision import evaluate_reconfiguration
+from repro.core.policy import PolicyParams, greedy_policy
+from repro.platform.cluster import Platform
+from repro.strategies.base import ExecutionResult, IterationRecord, Strategy
+from repro.strategies.scheduler import initial_schedule
+
+
+class CrStrategy(Strategy):
+    """Whole-set migration via checkpoint/restart, policy-gated."""
+
+    name = "cr"
+
+    def __init__(self, policy: PolicyParams | None = None) -> None:
+        self.policy = policy or greedy_policy()
+        if self.policy.name != "greedy":
+            self.name = f"cr-{self.policy.name}"
+
+    def restart_cost(self, platform: Platform, app: ApplicationSpec) -> float:
+        """Checkpoint write + MPI restart + checkpoint read."""
+        n = app.n_processes
+        write = platform.link.serialized_time(n * app.state_bytes, n)
+        read = platform.link.serialized_time(n * app.state_bytes, n)
+        return write + platform.startup_time(n) + read
+
+    def run(self, platform: Platform, app: ApplicationSpec) -> ExecutionResult:
+        self.check_fit(platform, app)
+        result = ExecutionResult(strategy=self.name, app=app)
+
+        active = initial_schedule(platform, app.n_processes, t=0.0)
+        comm_time = self.comm_time(platform, app)
+        cost = self.restart_cost(platform, app)
+        chunk = app.chunk_flops
+
+        t = platform.startup_time(app.n_processes)
+        result.startup_time = t
+        result.progress.record(t, 0, "startup")
+
+        for i in range(1, app.iterations + 1):
+            iter_start = t
+            ran_on = tuple(active)
+            chunks = {h: chunk for h in active}
+            compute_end, iter_end = self.run_iteration(platform, chunks, t,
+                                                       comm_time)
+            t = iter_end
+            result.progress.record(t, i, "iteration")
+
+            overhead = 0.0
+            event = ""
+            if i < app.iterations:
+                rates = self.predicted_rates(platform, t,
+                                             self.policy.history_window)
+                candidate = initial_schedule(platform, app.n_processes, t=t,
+                                             window=self.policy.history_window)
+                if set(candidate) != set(active):
+                    old_iter = max(chunk / rates[h] for h in active) + comm_time
+                    new_iter = max(chunk / rates[h] for h in candidate) + comm_time
+                    check = evaluate_reconfiguration(old_iter, new_iter, cost,
+                                                     self.policy)
+                    if check.accepted:
+                        overhead = cost
+                        event = "checkpoint"
+                        active = candidate
+                        result.restart_count += 1
+                        result.overhead_time += overhead
+                        t += overhead
+                        result.progress.record(t, i, "checkpoint")
+
+            result.records.append(IterationRecord(
+                index=i, start=iter_start, compute_end=compute_end,
+                end=iter_end, active=ran_on, overhead_after=overhead,
+                event=event))
+
+        result.makespan = t
+        result.final_active = tuple(active)
+        return result

@@ -1,0 +1,43 @@
+"""The do-nothing baseline (the paper's "NOTHING" technique).
+
+Allocate exactly ``N`` processors (the fastest at startup), partition the
+data equally, and run every iteration on them regardless of external load.
+"""
+
+from __future__ import annotations
+
+from repro.app.iterative import ApplicationSpec
+from repro.platform.cluster import Platform
+from repro.strategies.base import ExecutionResult, IterationRecord, Strategy
+from repro.strategies.scheduler import initial_schedule
+
+
+class NothingStrategy(Strategy):
+    """Never adapt: the reference point every figure is measured against."""
+
+    name = "nothing"
+
+    def run(self, platform: Platform, app: ApplicationSpec) -> ExecutionResult:
+        self.check_fit(platform, app)
+        result = ExecutionResult(strategy=self.name, app=app)
+
+        active = initial_schedule(platform, app.n_processes, t=0.0)
+        chunks = app.equal_chunks(active)
+        comm_time = self.comm_time(platform, app)
+
+        t = platform.startup_time(app.n_processes)
+        result.startup_time = t
+        result.progress.record(t, 0, "startup")
+
+        for i in range(1, app.iterations + 1):
+            compute_end, iter_end = self.run_iteration(platform, chunks, t,
+                                                       comm_time)
+            result.records.append(IterationRecord(
+                index=i, start=t, compute_end=compute_end, end=iter_end,
+                active=tuple(active)))
+            t = iter_end
+            result.progress.record(t, i, "iteration")
+
+        result.makespan = t
+        result.final_active = tuple(active)
+        return result

@@ -1,0 +1,37 @@
+"""The pre-execution scheduler.
+
+Section 6, "Initial schedule": "For all simulated application runs we must
+compute an initial application schedule. ... The initial schedule always
+uses the fastest performing processors at the time of application
+startup."  Equal-size chunks for all techniques; DLB partitions
+proportionally to balance iteration times (handled by
+:meth:`ApplicationSpec.proportional_chunks`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import StrategyError
+from repro.platform.cluster import Platform
+
+
+def rank_hosts(platform: Platform, t: float = 0.0,
+               window: float = 0.0) -> "list[int]":
+    """All host indices, fastest effective rate first (ties by index)."""
+    rates = platform.effective_rates(t, window=window)
+    return sorted(rates, key=lambda h: (-rates[h], h))
+
+
+def initial_schedule(platform: Platform, n: int, t: float = 0.0,
+                     window: float = 0.0) -> "list[int]":
+    """The ``n`` fastest hosts at time ``t`` -- the paper's initial schedule.
+
+    With more over-allocation the pool is larger, so "the pre-execution
+    scheduler has more options for initial process placement" (the paper's
+    explanation of the slight NOTHING/DLB improvement in its Fig. 5).
+    """
+    if n < 1:
+        raise StrategyError(f"need n >= 1, got {n}")
+    if n > len(platform):
+        raise StrategyError(
+            f"cannot schedule {n} processes on {len(platform)} hosts")
+    return rank_hosts(platform, t, window)[:n]

@@ -1,0 +1,86 @@
+"""MPI process swapping (the paper's "SWAP" technique).
+
+The application over-allocates the *entire* platform pool (``N`` active
+plus ``M = P - N`` spares, each costing 0.75 s of MPI startup), runs on
+the ``N`` fastest hosts, and after every iteration lets the swap manager
+apply the configured policy: exchange the slowest active processor(s) for
+the fastest spare(s) if the policy's gates pass.  A swap pauses the whole
+application while the process state images cross the shared link
+("data redistribution is not allowed", so the incoming process inherits
+the outgoing process's chunk unchanged).
+"""
+
+from __future__ import annotations
+
+from repro.app.iterative import ApplicationSpec
+from repro.core.decision import decide_swaps
+from repro.core.policy import PolicyParams, greedy_policy
+from repro.platform.cluster import Platform
+from repro.strategies.base import ExecutionResult, IterationRecord, Strategy
+from repro.strategies.scheduler import initial_schedule
+
+
+class SwapStrategy(Strategy):
+    """Process swapping with a pluggable policy (greedy by default)."""
+
+    name = "swap"
+
+    def __init__(self, policy: PolicyParams | None = None) -> None:
+        self.policy = policy or greedy_policy()
+        self.name = f"swap-{self.policy.name}"
+
+    def run(self, platform: Platform, app: ApplicationSpec) -> ExecutionResult:
+        self.check_fit(platform, app)
+        result = ExecutionResult(strategy=self.name, app=app)
+
+        pool = list(range(len(platform)))
+        active = initial_schedule(platform, app.n_processes, t=0.0)
+        chunks = app.equal_chunks(active)
+        comm_time = self.comm_time(platform, app)
+        swap_cost_one = platform.link.transfer_time(app.state_bytes)
+
+        # Over-allocation: every process in the pool is launched up front.
+        t = platform.startup_time(len(pool))
+        result.startup_time = t
+        result.progress.record(t, 0, "startup")
+
+        for i in range(1, app.iterations + 1):
+            iter_start = t
+            ran_on = tuple(active)
+            compute_end, iter_end = self.run_iteration(platform, chunks, t,
+                                                       comm_time)
+            t = iter_end
+            result.progress.record(t, i, "iteration")
+
+            overhead = 0.0
+            event = ""
+            if i < app.iterations:  # no point swapping after the last one
+                spares = [h for h in pool if h not in active]
+                rates = self.predicted_rates(platform, t,
+                                             self.policy.history_window)
+                decision = decide_swaps(active, spares, rates, chunks,
+                                        comm_time, swap_cost_one, self.policy)
+                if decision.should_swap:
+                    n_moves = len(decision.moves)
+                    # Transfers of all swapped state images serialize on
+                    # the single shared link.
+                    overhead = platform.link.serialized_time(
+                        n_moves * app.state_bytes, n_moves)
+                    event = "swap"
+                    detail = ", ".join(f"{m.out_host}->{m.in_host}"
+                                       for m in decision.moves)
+                    active = decision.active_set_after(active)
+                    chunks = {h: app.chunk_flops for h in active}
+                    result.swap_count += n_moves
+                    result.overhead_time += overhead
+                    t += overhead
+                    result.progress.record(t, i, "swap", detail)
+
+            result.records.append(IterationRecord(
+                index=i, start=iter_start, compute_end=compute_end,
+                end=iter_end, active=ran_on, overhead_after=overhead,
+                event=event))
+
+        result.makespan = t
+        result.final_active = tuple(active)
+        return result

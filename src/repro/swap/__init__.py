@@ -1,0 +1,37 @@
+"""The MPI process swapping runtime (the paper's Section 3).
+
+This package reproduces the mechanism the policies drive:
+
+* **over-allocation** -- ``N + M`` processes are launched, only ``N``
+  compute; spares idle blocking on a receive ("an application does not
+  consume more resources because of over-allocation");
+* **two private communicators** -- control traffic (handlers <-> manager)
+  and state transfers ride private communicators, leaving the
+  application's own communicators untouched;
+* **swap handlers** -- one per MPI process: forwards the application's
+  per-iteration performance reports, probes CPU availability while the
+  process is a spare, and relays the manager's commands;
+* **the swap manager** -- a (possibly remote) process that collects
+  measurements into a :class:`~repro.core.history.PerformanceMonitor`
+  and applies a :class:`~repro.core.policy.PolicyParams` via
+  :func:`~repro.core.decision.decide_swaps`;
+* **the three-line retrofit** -- user code adds
+  :meth:`~repro.swap.context.SwapContext.register` calls for its state
+  and one :meth:`~repro.swap.context.SwapContext.mpi_swap` call inside
+  its iteration loop (the import plays the role of ``mpi_swap.h``).
+
+The whole runtime executes on the simulated MPI layer
+(:mod:`repro.smpi`), so swaps incur real (simulated) latency, bandwidth
+contention and barrier stalls rather than analytically-charged costs.
+"""
+
+from repro.swap.registry import StateRegistry
+from repro.swap.context import SwapContext
+from repro.swap.runtime import SwapRuntime, SwapJobResult
+
+__all__ = [
+    "StateRegistry",
+    "SwapContext",
+    "SwapJobResult",
+    "SwapRuntime",
+]

@@ -1,0 +1,183 @@
+"""The application-facing swap API: the "three lines of source code".
+
+A :class:`SwapContext` is what a retrofitted iterative application touches:
+
+1. the import of this module (the paper's ``#include "mpi_swap.h"``);
+2. :meth:`SwapContext.register` calls for the state to move on a swap
+   (the paper's ``swap_register()``);
+3. one :meth:`SwapContext.mpi_swap` call inside the iteration loop.
+
+``mpi_swap`` hides the whole choreography: performance reporting, the
+manager's verdict, state transfer to/from a partner process, and the
+role flip between *active* (computing) and *spare* (idle, blocking on a
+receive -- consuming no simulated CPU).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import SwapError
+from repro.swap import protocol
+from repro.swap.registry import StateRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.smpi.api import Rank
+    from repro.swap.runtime import SwapRuntime
+
+#: Tag used for state-image transfers on the private state communicator.
+STATE_TAG = 7
+
+#: Tag base for the runtime-managed exchange phases.
+EXCHANGE_TAG_BASE = 100
+
+
+class SwapContext:
+    """Per-process handle on the swap runtime."""
+
+    def __init__(self, runtime: "SwapRuntime", rank: "Rank") -> None:
+        self.runtime = runtime
+        self.rank = rank
+        self.registry = StateRegistry()
+        self.role = ("active" if rank.world_rank in runtime.initial_active
+                     else "spare")
+        #: Current active world ranks, as last announced by the manager.
+        self.current_active: "tuple[int, ...]" = tuple(runtime.initial_active)
+        self.to_handler = runtime.to_handler[rank.world_rank]
+        self.from_handler = runtime.to_app[rank.world_rank]
+        self.swaps_in = 0
+        self.swaps_out = 0
+        self.finished = False
+        self._hello_sent = False
+        self._epoch_start: float | None = None
+        self._iteration = 0
+
+    # -- the three-line API ----------------------------------------------
+
+    def register(self, name: str, nbytes: float) -> None:
+        """Register a state block to be moved on a swap (local, instant)."""
+        if self._hello_sent:
+            raise SwapError(
+                "state must be registered before the first mpi_swap() call")
+        self.registry.register(name, nbytes)
+
+    def mpi_swap(self, iteration: int, state: Any) -> Generator:
+        """The swap point at the top of the iteration loop.
+
+        Returns ``(iteration, state)`` -- usually unchanged; after being
+        swapped in, the *partner's* iteration counter and state; and
+        ``(None, None)`` when the application has finished and this
+        (spare) process should exit.
+        """
+        self._ensure_hello()
+        if self.role == "active":
+            rate = self._measured_rate(iteration)
+            self.to_handler.put(protocol.IterationReport(
+                rank=self.rank.world_rank, iteration=iteration,
+                measured_rate=rate))
+            verdict = yield self.from_handler.get()
+            if isinstance(verdict, protocol.Proceed):
+                self.current_active = verdict.active
+                self._epoch_start = self.rank.now
+                self._iteration = iteration
+                return iteration, state
+            if not isinstance(verdict, protocol.SwapOut):
+                raise SwapError(f"active process got unexpected {verdict!r}")
+            # Retire: push the registered state image to the incoming spare.
+            self.current_active = verdict.active
+            self.role = "spare"
+            self.swaps_out += 1
+            partner_local = self.runtime.state_comm.rank_of(verdict.partner)
+            yield from self.rank.send(partner_local,
+                                      nbytes=self.registry.total_bytes,
+                                      payload=(iteration, state),
+                                      tag=STATE_TAG,
+                                      comm=self.runtime.state_comm)
+        # Spare: idle until swapped in or shut down.  This is the paper's
+        # over-allocation idle state ("blocking on an I/O call").
+        command = yield self.from_handler.get()
+        if isinstance(command, protocol.Shutdown):
+            self.finished = True
+            return None, None
+        if not isinstance(command, protocol.SwapIn):
+            raise SwapError(f"spare process got unexpected {command!r}")
+        partner_local = self.runtime.state_comm.rank_of(command.partner)
+        message = yield from self.rank.recv(source=partner_local,
+                                            tag=STATE_TAG,
+                                            comm=self.runtime.state_comm)
+        self.role = "active"
+        self.swaps_in += 1
+        self.current_active = command.active
+        self._epoch_start = self.rank.now
+        new_iteration, new_state = message.payload
+        self._iteration = new_iteration
+        return new_iteration, new_state
+
+    def finish(self) -> Generator:
+        """Tell the manager this process completed its final iteration."""
+        if self.role != "active":
+            raise SwapError("only an active process can finish the run")
+        self._ensure_hello()
+        self.finished = True
+        self.to_handler.put(protocol.Done(rank=self.rank.world_rank))
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # -- runtime-managed communication ------------------------------------
+
+    def exchange(self, nbytes: float, payload: Any = None,
+                 iteration: int | None = None) -> Generator:
+        """One iteration's communication phase among the current actives.
+
+        A synchronizing ring: each active sends ``nbytes`` (carrying
+        ``payload``) to its successor in the manager-announced active
+        list and receives -- and returns -- its predecessor's payload.
+        Spares take no part (and must not call this).
+
+        Message tags derive from the *iteration number* (defaulting to
+        the one the last ``mpi_swap`` returned) so that a freshly
+        swapped-in process matches the survivors' traffic.
+        """
+        if self.role != "active":
+            raise SwapError("spare processes do not exchange data")
+        members = list(self.current_active)
+        if len(members) <= 1:
+            return payload
+        me = members.index(self.rank.world_rank)
+        succ = members[(me + 1) % len(members)]
+        pred = members[(me - 1) % len(members)]
+        if iteration is None:
+            iteration = self._iteration
+        tag = EXCHANGE_TAG_BASE + (iteration % (1 << 16))
+        comm = self.runtime.app_comm
+        send_done = self.rank.isend(comm.rank_of(succ), nbytes=nbytes,
+                                    payload=payload, tag=tag, comm=comm)
+        message = yield from self.rank.recv(source=comm.rank_of(pred),
+                                            tag=tag, comm=comm)
+        yield send_done
+        return message.payload
+
+    # -- internals ----------------------------------------------------------
+
+    def _ensure_hello(self) -> None:
+        if self._hello_sent:
+            return
+        now = self.rank.now
+        self.to_handler.put(protocol.Hello(
+            rank=self.rank.world_rank,
+            speed=self.rank.host.speed,
+            state_bytes=self.registry.total_bytes,
+            availability=self.rank.host.availability(now)))
+        self._hello_sent = True
+
+    def _measured_rate(self, iteration: int) -> float:
+        """Observed flop/s since the last swap point (iteration time based).
+
+        Before the first iteration there is nothing to measure; report the
+        instantaneous availability-scaled benchmark speed instead.
+        """
+        now = self.rank.now
+        if self._epoch_start is None or now <= self._epoch_start:
+            return self.rank.host.speed * self.rank.host.availability(now)
+        elapsed = now - self._epoch_start
+        return self.runtime.chunk_flops / elapsed

@@ -1,0 +1,75 @@
+"""The per-process swap handler.
+
+"Each MPI process is accompanied by a swap handler which is a separate
+process responsible for coordination with other processes in the runtime
+system."  The handler:
+
+* forwards the application's Hello / iteration reports / Done to the
+  manager over the private control communicator;
+* relays the manager's verdicts (Proceed / SwapOut / SwapIn / Shutdown)
+  back to the application process;
+* while its process is a *spare*, periodically probes the host's CPU
+  availability and reports it -- the runtime's environmental sensor (the
+  role NWS played in the real prototype).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.simkernel.events import AnyOf
+from repro.swap import protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.smpi.api import Rank
+    from repro.swap.context import SwapContext
+    from repro.swap.runtime import SwapRuntime
+
+
+def handler_loop(runtime: "SwapRuntime", api: "Rank",
+                 ctx: "SwapContext") -> Generator:
+    """Event loop of one swap handler (runs as its own sim coroutine)."""
+    sim = runtime.mpi.sim
+    control = runtime.control_comm
+    manager = control.rank_of(runtime.manager_rank)
+
+    def to_manager(payload) -> Generator:
+        yield from api.send(manager, nbytes=protocol.CONTROL_MSG_BYTES,
+                            payload=payload, comm=control)
+
+    # The application always speaks first (its Hello); forward it before
+    # entering the steady-state loop so the manager can seed its monitor.
+    hello = yield ctx.to_handler.get()
+    yield from to_manager(hello)
+
+    from_app = ctx.to_handler.get()
+    from_manager = api.irecv(source=manager, comm=control)
+    probe_timer = sim.timeout(runtime.probe_interval)
+
+    while True:
+        yield AnyOf(sim, [from_app, from_manager, probe_timer])
+
+        if from_app.processed:
+            item = from_app.value
+            yield from to_manager(item)
+            if isinstance(item, protocol.Done):
+                return  # application process finished; handler retires
+            from_app = ctx.to_handler.get()
+
+        if from_manager.processed:
+            command = from_manager.value.payload
+            ctx.from_handler.put(command)
+            if isinstance(command, protocol.Shutdown):
+                return
+            from_manager = api.irecv(source=manager, comm=control)
+
+        if probe_timer.processed:
+            # Probe regardless of role: the manager compares all hosts on
+            # the same availability-based footing (an active process's
+            # self-timed iteration rate also absorbs communication stalls
+            # and would bias it against idle spares).
+            if not ctx.finished:
+                yield from to_manager(protocol.ProbeReport(
+                    rank=api.world_rank,
+                    availability=api.host.availability(api.now)))
+            probe_timer = sim.timeout(runtime.probe_interval)

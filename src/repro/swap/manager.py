@@ -1,0 +1,166 @@
+"""The swap manager.
+
+"The swap manager is a possibly remote process that is responsible for
+collecting information and making swapping decisions."  It runs as an
+extra rank on the control communicator, feeds every measurement into a
+:class:`~repro.core.history.PerformanceMonitor` whose window comes from
+the policy, and at the end of each application iteration (once all active
+processes have reported -- the full barrier ``MPI_Swap`` demands) applies
+:func:`~repro.core.decision.decide_swaps`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from repro.core.decision import decide_swaps
+from repro.core.history import PerformanceMonitor
+from repro.errors import SwapError
+from repro.swap import protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.smpi.api import Rank
+    from repro.swap.runtime import SwapRuntime
+
+
+@dataclass
+class SwapEvent:
+    """One executed exchange, for the runtime's log."""
+
+    time: float
+    iteration: int
+    out_rank: int
+    in_rank: int
+
+
+@dataclass
+class ManagerStats:
+    """What the manager learned over the run (returned as its result)."""
+
+    decisions: int = 0
+    swaps: "list[SwapEvent]" = field(default_factory=list)
+    rejected_epochs: int = 0
+    """Decision epochs where the policy declined to swap."""
+    final_active: "tuple[int, ...]" = ()
+
+    @property
+    def swap_count(self) -> int:
+        return len(self.swaps)
+
+
+def manager_loop(runtime: "SwapRuntime", api: "Rank") -> Generator:
+    """Event loop of the swap manager (runs as world rank ``P``)."""
+    control = runtime.control_comm
+    policy = runtime.policy
+    if runtime.use_nws_bank:
+        from repro.nws.forecasting import BankMonitor
+        monitor = BankMonitor()
+    else:
+        monitor = PerformanceMonitor(window=policy.history_window)
+    stats = ManagerStats()
+
+    active: "list[int]" = list(runtime.initial_active)
+    spares: "list[int]" = [r for r in range(runtime.n_processes)
+                           if r not in active]
+    speeds: "dict[int, float]" = {}
+    state_bytes = 0.0
+    pending_reports: "dict[int, dict[int, float]]" = {}
+    done: "set[int]" = set()
+
+    def predicted_rates() -> "dict[int, float] | None":
+        """Forecasts for every host, or None until all are measured."""
+        rates: "dict[int, float]" = {}
+        for rank in active + spares:
+            try:
+                rates[rank] = monitor.predict(rank, api.now)
+            except Exception:
+                return None
+        return rates
+
+    def decide_and_reply(iteration: int) -> Generator:
+        nonlocal active, spares, state_bytes
+        stats.decisions += 1
+        rates = predicted_rates()
+        moves = ()
+        new_active = tuple(active)
+        if rates is not None and spares:
+            swap_cost = runtime.mpi.link_spec.transfer_time(state_bytes)
+            chunks = {r: runtime.chunk_flops for r in active}
+            decision = decide_swaps(active, spares, rates, chunks,
+                                    comm_time=runtime.comm_time_estimate,
+                                    swap_cost=swap_cost, params=policy)
+            moves = decision.moves
+            if moves:
+                new_active = tuple(decision.active_set_after(active))
+            else:
+                stats.rejected_epochs += 1
+        swapped_out = {m.out_host: m.in_host for m in moves}
+        swapped_in = {m.in_host: m.out_host for m in moves}
+        # Replies: actives first (they are blocked at the barrier), then
+        # activation commands to the chosen spares.
+        for rank in active:
+            local = control.rank_of(rank)
+            if rank in swapped_out:
+                verdict = protocol.SwapOut(iteration=iteration,
+                                           partner=swapped_out[rank],
+                                           active=new_active)
+            else:
+                verdict = protocol.Proceed(iteration=iteration,
+                                           active=new_active)
+            yield from api.send(local, nbytes=protocol.CONTROL_MSG_BYTES,
+                                payload=verdict, comm=control)
+        for rank in swapped_in:
+            yield from api.send(control.rank_of(rank),
+                                nbytes=protocol.CONTROL_MSG_BYTES,
+                                payload=protocol.SwapIn(
+                                    iteration=iteration,
+                                    partner=swapped_in[rank],
+                                    active=new_active),
+                                comm=control)
+        for move in moves:
+            stats.swaps.append(SwapEvent(time=api.now, iteration=iteration,
+                                         out_rank=move.out_host,
+                                         in_rank=move.in_host))
+            spares.remove(move.in_host)
+            spares.append(move.out_host)
+        active = list(new_active)
+
+    while len(done) < len(active):
+        message = yield from api.recv(comm=control)
+        payload = message.payload
+        now = api.now
+        if isinstance(payload, protocol.Hello):
+            speeds[payload.rank] = payload.speed
+            state_bytes = max(state_bytes, payload.state_bytes)
+            monitor.record(payload.rank, now,
+                           payload.speed * payload.availability)
+        elif isinstance(payload, protocol.ProbeReport):
+            if payload.rank not in speeds:
+                raise SwapError(
+                    f"probe from rank {payload.rank} before its Hello")
+            monitor.record(payload.rank, now,
+                           speeds[payload.rank] * payload.availability)
+        elif isinstance(payload, protocol.IterationReport):
+            # The app-intrinsic rate triggers the decision epoch (and is
+            # kept in the report log); cross-host comparison uses the
+            # handlers' uniform availability probes instead, because a
+            # self-timed iteration rate absorbs communication stalls and
+            # would bias active processes against idle spares.
+            epoch = pending_reports.setdefault(payload.iteration, {})
+            epoch[payload.rank] = payload.measured_rate
+            if set(epoch) >= set(active):
+                del pending_reports[payload.iteration]
+                yield from decide_and_reply(payload.iteration)
+        elif isinstance(payload, protocol.Done):
+            done.add(payload.rank)
+        else:
+            raise SwapError(f"manager got unexpected message {payload!r}")
+
+    # Application finished: release every spare (and its handler).
+    for rank in spares:
+        yield from api.send(control.rank_of(rank),
+                            nbytes=protocol.CONTROL_MSG_BYTES,
+                            payload=protocol.Shutdown(), comm=control)
+    stats.final_active = tuple(active)
+    return stats

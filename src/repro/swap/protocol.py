@@ -1,0 +1,92 @@
+"""Wire protocol between application processes, handlers and the manager.
+
+All control messages are small (:data:`CONTROL_MSG_BYTES`) and travel on
+the private control communicator; only state transfers are large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Modelled size of a control message on the wire (bytes).
+CONTROL_MSG_BYTES = 256.0
+
+
+# -- handler -> manager ------------------------------------------------------
+
+@dataclass(frozen=True)
+class Hello:
+    """First message from each handler: static facts about its process."""
+
+    rank: int
+    """World rank of the application process."""
+    speed: float
+    """Benchmarked unloaded host speed (flop/s)."""
+    state_bytes: float
+    """Registered process state size (the swap payload)."""
+    availability: float
+    """CPU availability observed at startup, in (0, 1]."""
+
+
+@dataclass(frozen=True)
+class IterationReport:
+    """An active process finished an iteration."""
+
+    rank: int
+    iteration: int
+    measured_rate: float
+    """Observed flop/s over the iteration's compute phase."""
+
+
+@dataclass(frozen=True)
+class ProbeReport:
+    """A spare's handler probed its host."""
+
+    rank: int
+    availability: float
+    """Instantaneous CPU availability in (0, 1]."""
+
+
+@dataclass(frozen=True)
+class Done:
+    """An active process completed its final iteration."""
+
+    rank: int
+
+
+# -- manager -> handler ------------------------------------------------------
+
+@dataclass(frozen=True)
+class Proceed:
+    """Verdict: keep computing on the current processor."""
+
+    iteration: int
+    active: "tuple[int, ...]"
+    """Current active world ranks (drives the runtime-managed exchange)."""
+
+
+@dataclass(frozen=True)
+class SwapOut:
+    """Verdict: transfer state to ``partner`` and become a spare."""
+
+    iteration: int
+    partner: int
+    """World rank of the spare taking over."""
+    active: "tuple[int, ...]"
+    """Active set after this decision epoch's swaps."""
+
+
+@dataclass(frozen=True)
+class SwapIn:
+    """Command to a spare: receive state from ``partner`` and activate."""
+
+    iteration: int
+    partner: int
+    """World rank of the active process being retired."""
+    active: "tuple[int, ...]"
+    """Active set after this decision epoch's swaps."""
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """The application finished; spares and their handlers may exit."""

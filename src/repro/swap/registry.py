@@ -1,0 +1,54 @@
+"""The ``swap_register()`` state registry.
+
+"The user must register static variables that need to be saved and
+communicated when a swap occurs.  This is done via a series of calls to
+the swap_register() function."  The registry tracks the named state
+blocks and their total size -- the ``process size`` of the payback
+algebra.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SwapError
+
+
+class StateRegistry:
+    """Named application state blocks to move on a swap."""
+
+    def __init__(self) -> None:
+        self._blocks: "dict[str, float]" = {}
+
+    def register(self, name: str, nbytes: float) -> None:
+        """Register one state block; names must be unique."""
+        if not name:
+            raise SwapError("state block needs a non-empty name")
+        if name in self._blocks:
+            raise SwapError(f"state block {name!r} already registered")
+        if nbytes < 0:
+            raise SwapError(f"negative state size {nbytes}")
+        self._blocks[name] = float(nbytes)
+
+    def unregister(self, name: str) -> None:
+        """Remove a block (e.g. a temporary no longer worth moving)."""
+        try:
+            del self._blocks[name]
+        except KeyError:
+            raise SwapError(f"state block {name!r} is not registered") from None
+
+    @property
+    def total_bytes(self) -> float:
+        """The process size moved on a swap."""
+        return sum(self._blocks.values())
+
+    @property
+    def names(self) -> "tuple[str, ...]":
+        return tuple(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blocks
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<StateRegistry {len(self)} blocks, {self.total_bytes:g} B>"

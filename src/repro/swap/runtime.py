@@ -1,0 +1,174 @@
+"""Wiring of the swap runtime: processes, handlers, manager, communicators.
+
+:class:`SwapRuntime` assembles the paper's architecture on the simulated
+MPI layer:
+
+* ``P`` application processes, one per platform host (over-allocation:
+  all ``P`` are launched and pay startup; only ``N`` compute);
+* one swap handler coroutine per application process;
+* the swap manager as an extra rank ``P`` on a dedicated host;
+* three communicators: the application's own (``app_comm``) plus the two
+  private ones of the paper -- ``control_comm`` (handlers <-> manager)
+  and ``state_comm`` (state-image transfers between swap partners).
+
+:meth:`SwapRuntime.run_iterative` is the convenience driver used by the
+examples: it runs a generic BSP iterative application (compute + ring
+exchange per iteration) under swapping and returns a
+:class:`SwapJobResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.core.policy import PolicyParams, greedy_policy
+from repro.errors import SwapError
+from repro.load.base import ConstantLoadModel
+from repro.platform.cluster import Platform
+from repro.platform.host import Host, HostSpec
+from repro.platform.network import LinkSpec
+from repro.simkernel.engine import Simulator
+from repro.simkernel.resources import Store
+from repro.simkernel.rng import RngRegistry
+from repro.smpi.comm import Communicator, Group
+from repro.smpi.runtime import MpiJob, MpiRuntime
+from repro.strategies.scheduler import initial_schedule
+from repro.swap.context import SwapContext
+from repro.swap.handler import handler_loop
+from repro.swap.manager import ManagerStats, manager_loop
+
+
+@dataclass
+class SwapJobResult:
+    """Outcome of one swapped application run."""
+
+    makespan: float
+    """Wall-clock simulated time from launch to full job completion."""
+    startup_time: float
+    manager: ManagerStats
+    rank_results: "list[Any]"
+    """Per-application-rank return values (None for parked spares)."""
+
+    @property
+    def swap_count(self) -> int:
+        return self.manager.swap_count
+
+
+class SwapRuntime:
+    """One swapping-enabled MPI job on a platform."""
+
+    def __init__(self, platform: Platform, n_active: int,
+                 policy: PolicyParams | None = None,
+                 chunk_flops: float = 0.0,
+                 probe_interval: float = 10.0,
+                 comm_time_estimate: float = 0.0,
+                 use_nws_bank: bool = False,
+                 sim: Simulator | None = None) -> None:
+        if n_active < 1 or n_active > len(platform):
+            raise SwapError(
+                f"n_active must be in [1, {len(platform)}], got {n_active}")
+        if probe_interval <= 0:
+            raise SwapError("probe_interval must be > 0")
+        self.platform = platform
+        self.n_active = n_active
+        self.policy = policy or greedy_policy()
+        self.chunk_flops = float(chunk_flops)
+        self.probe_interval = float(probe_interval)
+        self.comm_time_estimate = float(comm_time_estimate)
+        #: Use NWS dynamic predictor selection (:mod:`repro.nws`) for the
+        #: manager's cross-host rate forecasts instead of the policy's
+        #: fixed history window.
+        self.use_nws_bank = bool(use_nws_bank)
+        self.sim = sim or Simulator()
+
+        # The manager gets a dedicated unloaded host (it is "possibly
+        # remote" and does negligible compute).
+        manager_host = Host(
+            HostSpec(name="swap-manager-host", speed=platform.hosts[0].speed,
+                     load_model=ConstantLoadModel(0)),
+            RngRegistry(0).stream("swap", "manager"), horizon=1.0)
+        self.mpi = MpiRuntime(self.sim, list(platform.hosts) + [manager_host],
+                              link=platform.link,
+                              startup_per_process=platform.startup_per_process)
+        self.n_processes = len(platform.hosts)
+        self.manager_rank = self.n_processes
+
+        app_ranks = range(self.n_processes)
+        self.control_comm = Communicator(Group(range(self.n_processes + 1)),
+                                         name="swap-control")
+        self.state_comm = Communicator(Group(app_ranks), name="swap-state")
+        self.app_comm = Communicator(Group(app_ranks), name="swap-app")
+
+        self.initial_active: "tuple[int, ...]" = tuple(
+            initial_schedule(platform, n_active, t=0.0))
+        self.to_handler = {r: Store(self.sim) for r in app_ranks}
+        self.to_app = {r: Store(self.sim) for r in app_ranks}
+        self.contexts: "dict[int, SwapContext]" = {}
+
+    # -- launch -------------------------------------------------------------
+
+    def launch(self, user_main: "Callable[..., Generator]",
+               *args: Any) -> MpiJob:
+        """Launch the job: ``user_main(rank, ctx, *args)`` on every
+        application rank, plus handlers and the manager."""
+
+        def app_main(rank, *inner_args) -> Generator:
+            ctx = SwapContext(self, rank)
+            self.contexts[rank.world_rank] = ctx
+            self.sim.process(handler_loop(self, rank, ctx),
+                             name=f"handler{rank.world_rank}")
+            result = yield from user_main(rank, ctx, *inner_args)
+            return result
+
+        def manager_main(rank, *inner_args) -> Generator:
+            del inner_args
+            stats = yield from manager_loop(self, rank)
+            return stats
+
+        mains = [app_main] * self.n_processes + [manager_main]
+        return self.mpi.launch(mains, *args)
+
+    # -- convenience driver ---------------------------------------------------
+
+    def run_iterative(self, iterations: int, exchange_bytes: float = 0.0,
+                      state_bytes: float = 0.0,
+                      body: "Callable[[int, int, Any], Any] | None" = None,
+                      initial_state: "Callable[[int], Any] | None" = None,
+                      ) -> SwapJobResult:
+        """Run a generic swapped BSP iterative application to completion.
+
+        Each iteration an active process computes ``self.chunk_flops``,
+        optionally applies ``body(rank, iteration, state)``, and takes
+        part in a ring exchange of ``exchange_bytes``.  Swapping follows
+        the runtime's policy.
+        """
+        if iterations < 1:
+            raise SwapError(f"need >= 1 iteration, got {iterations}")
+        if self.chunk_flops <= 0:
+            raise SwapError("run_iterative needs chunk_flops > 0")
+
+        def worker(rank, ctx: SwapContext) -> Generator:
+            ctx.register("app-state", state_bytes)
+            iteration = 0
+            state = initial_state(rank.world_rank) if initial_state else None
+            while True:
+                if ctx.role == "active" and iteration >= iterations:
+                    yield from ctx.finish()
+                    return state
+                iteration, state = yield from ctx.mpi_swap(iteration, state)
+                if iteration is None:
+                    return None  # spare at shutdown
+                yield from rank.compute(self.chunk_flops)
+                if body is not None:
+                    state = body(rank.world_rank, iteration, state)
+                yield from ctx.exchange(exchange_bytes)
+                iteration += 1
+
+        job = self.launch(worker)
+        results = job.run_to_completion()
+        manager_stats = results[self.manager_rank]
+        return SwapJobResult(makespan=self.sim.now,
+                             startup_time=job.startup_time,
+                             manager=manager_stats,
+                             rank_results=results[:self.n_processes])

@@ -1,0 +1,51 @@
+"""Unit constants and helpers.
+
+All quantities in this package use SI base units: seconds, bytes,
+flop (floating-point operations), flop/s, bytes/s.  These constants make
+call sites read like the paper ("process size 100 MB", "1-5 minute
+iterations", "hundreds of megaflops").
+"""
+
+from __future__ import annotations
+
+# -- data sizes (bytes) --------------------------------------------------
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+
+# -- time (seconds) ------------------------------------------------------
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+
+# -- compute rates (flop/s) ----------------------------------------------
+MFLOPS = 1e6
+GFLOPS = 1e9
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count, e.g. ``format_bytes(2.5e8) == '250.0 MB'``."""
+    n = float(n)
+    for unit, name in ((GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(n) >= unit:
+            return f"{n / unit:.1f} {name}"
+    return f"{n:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration, e.g. ``format_duration(3700) == '1h01m40s'``."""
+    seconds = float(seconds)
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < MINUTE:
+        return f"{seconds:.2f}s"
+    if seconds < HOUR:
+        m, s = divmod(seconds, MINUTE)
+        return f"{int(m)}m{s:04.1f}s"
+    h, rem = divmod(seconds, HOUR)
+    m, s = divmod(rem, MINUTE)
+    return f"{int(h)}h{int(m):02d}m{s:02.0f}s"

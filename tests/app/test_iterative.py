@@ -1,0 +1,67 @@
+"""Tests for the application specification."""
+
+import pytest
+
+from repro.app.iterative import ApplicationSpec
+from repro.errors import StrategyError
+
+
+def spec(**overrides):
+    defaults = dict(n_processes=4, iterations=10, flops_per_iteration=4e9)
+    defaults.update(overrides)
+    return ApplicationSpec(**defaults)
+
+
+def test_validation():
+    with pytest.raises(StrategyError):
+        spec(n_processes=0)
+    with pytest.raises(StrategyError):
+        spec(iterations=0)
+    with pytest.raises(StrategyError):
+        spec(flops_per_iteration=0.0)
+    with pytest.raises(StrategyError):
+        spec(bytes_per_process=-1.0)
+    with pytest.raises(StrategyError):
+        spec(state_bytes=-1.0)
+
+
+def test_chunk_flops_equal_partition():
+    assert spec().chunk_flops == pytest.approx(1e9)
+
+
+def test_equal_chunks_mapping():
+    chunks = spec().equal_chunks([7, 2, 9, 4])
+    assert set(chunks) == {7, 2, 9, 4}
+    assert all(v == pytest.approx(1e9) for v in chunks.values())
+
+
+def test_equal_chunks_wrong_count_rejected():
+    with pytest.raises(StrategyError):
+        spec().equal_chunks([1, 2])
+
+
+def test_proportional_chunks_balance_iteration_times():
+    rates = {0: 100.0, 1: 300.0}
+    app = spec(n_processes=2)
+    chunks = app.proportional_chunks(rates)
+    assert sum(chunks.values()) == pytest.approx(app.flops_per_iteration)
+    assert chunks[0] / rates[0] == pytest.approx(chunks[1] / rates[1])
+
+
+def test_proportional_chunks_validation():
+    with pytest.raises(StrategyError):
+        spec(n_processes=2).proportional_chunks({0: 1.0})
+    with pytest.raises(StrategyError):
+        spec(n_processes=1).proportional_chunks({0: 0.0})
+
+
+def test_unloaded_iteration_time():
+    app = spec(n_processes=2, flops_per_iteration=2e9)
+    assert app.unloaded_iteration_time([1e9, 0.5e9]) == pytest.approx(2.0)
+    with pytest.raises(StrategyError):
+        app.unloaded_iteration_time([1e9])
+
+
+def test_describe_mentions_shape():
+    text = spec(name="lattice").describe()
+    assert "lattice" in text and "N=4" in text

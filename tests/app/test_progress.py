@@ -1,0 +1,76 @@
+"""Tests for progress recording (the Fig. 1 machinery)."""
+
+import pytest
+
+from repro.app.progress import ProgressRecorder
+from repro.errors import StrategyError
+
+
+def test_curve_accumulates():
+    rec = ProgressRecorder()
+    rec.record(0.0, 0, "startup")
+    rec.record(10.0, 1, "iteration")
+    rec.record(20.0, 2, "iteration")
+    times, iters = rec.curve()
+    assert times == [0.0, 10.0, 20.0]
+    assert iters == [0, 1, 2]
+
+
+def test_time_must_be_monotone():
+    rec = ProgressRecorder()
+    rec.record(10.0, 1, "iteration")
+    with pytest.raises(StrategyError):
+        rec.record(5.0, 2, "iteration")
+
+
+def test_pauses_found():
+    rec = ProgressRecorder()
+    rec.record(10.0, 1, "iteration")
+    rec.record(15.0, 1, "swap")
+    rec.record(25.0, 2, "iteration")
+    rec.record(30.0, 2, "checkpoint")
+    assert rec.pauses() == [(10.0, 15.0, "swap"), (25.0, 30.0, "checkpoint")]
+
+
+def test_zero_length_pause_ignored():
+    rec = ProgressRecorder()
+    rec.record(10.0, 1, "iteration")
+    rec.record(10.0, 1, "swap")
+    assert rec.pauses() == []
+
+
+def test_time_of_iteration():
+    rec = ProgressRecorder()
+    rec.record(10.0, 1, "iteration")
+    rec.record(20.0, 2, "iteration")
+    assert rec.time_of_iteration(2) == 20.0
+    assert rec.time_of_iteration(3) is None
+
+
+def test_payback_point_detects_catch_up():
+    """A run that pauses for a swap, then speeds up, catches the baseline
+    at the payback point -- the Fig. 1 semantics."""
+    baseline = ProgressRecorder()
+    swapped = ProgressRecorder()
+    # Baseline: one iteration per 10 s.
+    for k in range(1, 11):
+        baseline.record(10.0 * k, k, "iteration")
+    # Swapped: one normal iteration, 10 s pause, then 5 s iterations.
+    swapped.record(10.0, 1, "iteration")
+    swapped.record(20.0, 1, "swap")
+    t = 20.0
+    for k in range(2, 11):
+        t += 5.0
+        swapped.record(t, k, "iteration")
+    catch = swapped.payback_point(baseline)
+    # Progress first matches at iteration 3: both runs reach it at t=30.
+    assert catch == pytest.approx(30.0)
+
+
+def test_payback_point_none_when_never_caught():
+    baseline = ProgressRecorder()
+    slow = ProgressRecorder()
+    for k in range(1, 5):
+        baseline.record(10.0 * k, k, "iteration")
+        slow.record(20.0 * k, k, "iteration")
+    assert slow.payback_point(baseline) is None

@@ -1,0 +1,64 @@
+"""Tests for workload generators against the paper's stated ranges."""
+
+import numpy as np
+import pytest
+
+from repro.app.workloads import (
+    paper_application,
+    random_application,
+    scaled_iteration_minutes,
+)
+from repro.errors import StrategyError
+from repro.units import GB, KB, MINUTE
+
+
+def test_scaled_iteration_minutes():
+    # 2-minute iterations on a 300 MFLOP/s host for each of 4 processes.
+    flops = scaled_iteration_minutes(2.0, 4)
+    assert flops / 4 / 300e6 == pytest.approx(2 * MINUTE)
+
+
+def test_scaled_iteration_validation():
+    with pytest.raises(StrategyError):
+        scaled_iteration_minutes(0.0, 4)
+    with pytest.raises(StrategyError):
+        scaled_iteration_minutes(1.0, 4, reference_speed=0.0)
+
+
+def test_paper_application_defaults():
+    app = paper_application()
+    assert app.n_processes == 4
+    assert app.state_bytes == pytest.approx(1e6)
+    # ~1 minute per iteration on a mid-range host.
+    assert app.chunk_flops / 300e6 == pytest.approx(60.0)
+
+
+def test_random_application_within_paper_ranges():
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        app = random_application(rng)
+        minutes = app.chunk_flops / 300e6 / MINUTE
+        assert 1.0 <= minutes <= 5.0
+        assert 1 * KB <= app.bytes_per_process <= 1 * GB
+        assert 1 * KB <= app.state_bytes <= 1 * GB
+
+
+def test_random_application_deterministic_per_stream():
+    a = random_application(np.random.default_rng(5))
+    b = random_application(np.random.default_rng(5))
+    assert a == b
+
+
+def test_particle_dynamics_preset():
+    from repro.app.workloads import particle_dynamics_application
+    from repro.units import MB
+
+    app = particle_dynamics_application(n_processes=4)
+    # 250k particles x 64 B = 16 MB of state per process.
+    assert app.state_bytes == pytest.approx(16 * MB)
+    # Boundary exchange is a small fraction of the state.
+    assert app.bytes_per_process < 0.1 * app.state_bytes
+    # A chunk is ~0.4 s on a mid-range host: a fine-grained iterative code.
+    assert app.chunk_flops / 300e6 < 5.0
+    with pytest.raises(StrategyError):
+        particle_dynamics_application(particles_per_process=0)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.load.base import ConstantLoadModel
+from repro.load.onoff import OnOffLoadModel
+from repro.platform.cluster import make_platform
+from repro.simkernel.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def quiet_platform():
+    """Four dedicated (never loaded) hosts on the default link."""
+    return make_platform(4, ConstantLoadModel(0), seed=7)
+
+
+@pytest.fixture
+def loaded_platform():
+    """Eight hosts with moderate persistent ON/OFF load."""
+    return make_platform(8, OnOffLoadModel(p=0.02, q=0.02), seed=11,
+                         speed_range=(250e6, 350e6))

@@ -1,0 +1,77 @@
+"""Tests for performance contracts and violation detection."""
+
+import pytest
+
+from repro.contracts.monitor import ContractMonitor, PerformanceContract
+from repro.errors import StrategyError
+
+
+def test_contract_validation():
+    with pytest.raises(StrategyError):
+        PerformanceContract(expected_iteration_time=0.0)
+    with pytest.raises(StrategyError):
+        PerformanceContract(expected_iteration_time=1.0, tolerance=-0.1)
+    with pytest.raises(StrategyError):
+        PerformanceContract(expected_iteration_time=1.0, violation_window=0)
+
+
+def test_threshold():
+    contract = PerformanceContract(expected_iteration_time=10.0,
+                                   tolerance=0.2)
+    assert contract.threshold == pytest.approx(12.0)
+
+
+def test_violation_needs_consecutive_overruns():
+    monitor = ContractMonitor(PerformanceContract(10.0, tolerance=0.2,
+                                                  violation_window=3))
+    assert not monitor.observe(13.0)
+    assert not monitor.observe(13.0)
+    assert monitor.observe(13.0)       # third consecutive fires
+    assert monitor.violations == 1
+
+
+def test_good_iteration_resets_counter():
+    monitor = ContractMonitor(PerformanceContract(10.0, tolerance=0.2,
+                                                  violation_window=2))
+    assert not monitor.observe(13.0)
+    assert not monitor.observe(9.0)    # reset
+    assert not monitor.observe(13.0)
+    assert monitor.observe(13.0)
+
+
+def test_counter_resets_after_firing():
+    monitor = ContractMonitor(PerformanceContract(10.0, violation_window=2))
+    monitor.observe(13.0)
+    assert monitor.observe(13.0)
+    assert not monitor.observe(13.0)   # starts a new window
+    assert monitor.observe(13.0)
+    assert monitor.violations == 2
+
+
+def test_exact_threshold_is_not_an_overrun():
+    monitor = ContractMonitor(PerformanceContract(10.0, tolerance=0.2,
+                                                  violation_window=1))
+    assert not monitor.observe(12.0)
+    assert monitor.observe(12.0001)
+
+
+def test_renegotiation_updates_budget():
+    monitor = ContractMonitor(PerformanceContract(10.0, tolerance=0.2,
+                                                  violation_window=1))
+    monitor.renegotiate(20.0)
+    assert not monitor.observe(23.0)
+    assert monitor.observe(25.0)
+    assert monitor.contract.tolerance == pytest.approx(0.2)
+
+
+def test_invalid_measurement_rejected():
+    monitor = ContractMonitor(PerformanceContract(10.0))
+    with pytest.raises(StrategyError):
+        monitor.observe(0.0)
+
+
+def test_observation_counting():
+    monitor = ContractMonitor(PerformanceContract(10.0, violation_window=1))
+    for value in (9.0, 11.0, 13.0, 9.0):
+        monitor.observe(value)
+    assert monitor.observations == 4

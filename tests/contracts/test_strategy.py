@@ -1,0 +1,88 @@
+"""Tests for contract-triggered swapping."""
+
+import pytest
+
+from repro.app.iterative import ApplicationSpec
+from repro.contracts.strategy import ContractSwapStrategy
+from repro.core.policy import greedy_policy
+from repro.load.base import ConstantLoadModel, LoadTrace
+from repro.load.onoff import OnOffLoadModel
+from repro.platform.cluster import make_platform
+from repro.strategies.nothing import NothingStrategy
+from repro.strategies.swapstrat import SwapStrategy
+from repro.units import MB
+
+
+def app(n, iters=8, flops=4e8, state=1 * MB):
+    return ApplicationSpec(n_processes=n, iterations=iters,
+                           flops_per_iteration=flops, state_bytes=state)
+
+
+def homogeneous(n, seed=0):
+    return make_platform(n, ConstantLoadModel(0), seed=seed,
+                         speed_range=(100e6, 100e6 + 1e-6))
+
+
+def load_host(platform, index, n_competing, from_t):
+    platform.hosts[index].trace = LoadTrace(
+        [0.0, from_t, 1e12], [0, n_competing], beyond_horizon="hold")
+
+
+def test_quiescent_run_never_evaluates_policy():
+    strategy = ContractSwapStrategy(greedy_policy())
+    result = strategy.run(homogeneous(6), app(2))
+    assert result.swap_count == 0
+    assert strategy.decision_evaluations == 0
+    assert strategy.contract_monitor.violations == 0
+
+
+def test_violation_triggers_migration():
+    platform = homogeneous(6)
+    load_host(platform, 0, 3, from_t=5.0)
+    load_host(platform, 1, 3, from_t=5.0)
+    strategy = ContractSwapStrategy(greedy_policy(), violation_window=2)
+    result = strategy.run(platform, app(2, iters=10))
+    assert result.swap_count >= 1
+    assert set(result.final_active).isdisjoint({0, 1})
+    assert strategy.decision_evaluations >= 1
+
+
+def test_renegotiation_accepts_unavoidable_slowdown():
+    """All hosts degrade equally: the monitor fires once, the policy
+    finds nothing better, the contract renegotiates, and no further
+    evaluations happen."""
+    platform = homogeneous(4)
+    for h in range(4):
+        load_host(platform, h, 1, from_t=5.0)
+    strategy = ContractSwapStrategy(greedy_policy(), violation_window=1)
+    result = strategy.run(platform, app(2, iters=10))
+    assert result.swap_count == 0
+    assert strategy.decision_evaluations == 1
+
+
+def test_fewer_evaluations_than_plain_swap():
+    """On a dynamic platform the contract gate evaluates the policy far
+    less often than once per iteration, at a modest makespan cost."""
+    def build():
+        return make_platform(16, OnOffLoadModel(p=0.03, q=0.03), seed=7,
+                             speed_range=(250e6, 350e6))
+
+    a = ApplicationSpec(n_processes=4, iterations=30,
+                        flops_per_iteration=4 * 1.8e10, state_bytes=1 * MB)
+    contract = ContractSwapStrategy(greedy_policy())
+    gated = contract.run(build(), a)
+    plain = SwapStrategy(greedy_policy()).run(build(), a)
+    nothing = NothingStrategy().run(build(), a)
+
+    assert contract.decision_evaluations < a.iterations - 1
+    assert gated.swap_count <= plain.swap_count
+    # Still clearly better than doing nothing.
+    assert gated.makespan < nothing.makespan
+    # And within a modest factor of always-on swapping.
+    assert gated.makespan < 1.25 * plain.makespan
+
+
+def test_name_and_defaults():
+    strategy = ContractSwapStrategy()
+    assert strategy.name == "swap-contract-greedy"
+    assert strategy.tolerance == pytest.approx(0.2)

@@ -1,0 +1,243 @@
+"""Tests for the swap decision engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decision import decide_swaps, evaluate_reconfiguration
+from repro.core.policy import (
+    PolicyParams,
+    friendly_policy,
+    greedy_policy,
+    safe_policy,
+)
+from repro.errors import PolicyError
+
+
+def equal_chunks(hosts, chunk=1e9):
+    return {h: chunk for h in hosts}
+
+
+# -- evaluate_reconfiguration -----------------------------------------------------
+
+def test_gate_accepts_clear_win():
+    check = evaluate_reconfiguration(100.0, 50.0, cost=10.0,
+                                     params=greedy_policy())
+    assert check.accepted
+    assert check.app_improvement == pytest.approx(1.0)
+    assert check.payback == pytest.approx(0.2)
+
+
+def test_gate_rejects_no_improvement():
+    check = evaluate_reconfiguration(100.0, 100.0, cost=0.0,
+                                     params=greedy_policy())
+    assert not check.accepted
+    assert "no application improvement" in check.reason
+
+
+def test_gate_rejects_below_app_threshold():
+    params = PolicyParams(name="x", min_app_improvement=0.10)
+    check = evaluate_reconfiguration(100.0, 95.0, cost=0.0, params=params)
+    assert not check.accepted
+    assert "below" in check.reason
+
+
+def test_gate_rejects_long_payback():
+    params = PolicyParams(name="x", payback_threshold=0.5)
+    # Saves 1 s/iteration but costs 10 s -> payback 10 iterations.
+    check = evaluate_reconfiguration(100.0, 99.0, cost=10.0, params=params)
+    assert not check.accepted
+    assert "payback" in check.reason
+
+
+def test_gate_validates_iteration_times():
+    with pytest.raises(PolicyError):
+        evaluate_reconfiguration(0.0, 1.0, 0.0, greedy_policy())
+
+
+# -- decide_swaps -----------------------------------------------------------------
+
+def test_greedy_swaps_slowest_for_fastest():
+    rates = {0: 100.0, 1: 50.0, 2: 200.0, 3: 80.0}
+    decision = decide_swaps(active=[0, 1], spares=[2, 3], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 1000.0),
+                            comm_time=0.0, swap_cost=1.0,
+                            params=greedy_policy())
+    assert decision.should_swap
+    first = decision.moves[0]
+    assert first.out_host == 1 and first.in_host == 2
+
+
+def test_greedy_chains_multiple_swaps():
+    rates = {0: 100.0, 1: 50.0, 2: 400.0, 3: 300.0}
+    decision = decide_swaps(active=[0, 1], spares=[2, 3], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 1000.0),
+                            comm_time=0.0, swap_cost=0.1,
+                            params=greedy_policy())
+    # Swap 1->2, then 0 is the slowest and 3 still improves it.
+    assert [(m.out_host, m.in_host) for m in decision.moves] == [(1, 2), (0, 3)]
+    assert decision.active_set_after([0, 1]) == [3, 2]
+
+
+def test_no_swap_when_spares_slower():
+    rates = {0: 100.0, 1: 90.0, 2: 50.0}
+    decision = decide_swaps(active=[0, 1], spares=[2], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 1000.0),
+                            comm_time=0.0, swap_cost=1.0,
+                            params=greedy_policy())
+    assert not decision.should_swap
+    assert "no faster" in decision.rejected_reason
+
+
+def test_no_swap_without_spares():
+    rates = {0: 100.0, 1: 90.0}
+    decision = decide_swaps(active=[0, 1], spares=[], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 1000.0),
+                            comm_time=0.0, swap_cost=1.0,
+                            params=greedy_policy())
+    assert not decision.should_swap
+
+
+def test_safe_requires_20_percent_process_gain():
+    # 10% faster spare: greedy swaps, safe does not.
+    rates = {0: 120.0, 1: 100.0, 2: 110.0}
+    kwargs = dict(active=[0, 1], spares=[2],
+                  chunk_flops=equal_chunks([0, 1], 1000.0),
+                  comm_time=0.0, swap_cost=0.001, rates=rates)
+    assert decide_swaps(params=greedy_policy(), **kwargs).should_swap
+    safe = decide_swaps(params=safe_policy(), **kwargs)
+    assert not safe.should_swap
+    assert "process improvement" in safe.rejected_reason
+
+
+def test_safe_payback_threshold_blocks_expensive_swaps():
+    # Large gain but cost of 100 s vs 1 s saved per iteration.
+    rates = {0: 100.0, 1: 50.0, 2: 65.0}
+    decision = decide_swaps(active=[0, 1], spares=[2], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 100.0),
+                            comm_time=0.0, swap_cost=100.0,
+                            params=safe_policy())
+    assert not decision.should_swap
+
+
+def test_friendly_needs_application_level_gain():
+    # The slowest active barely improves: app gain under 2%.
+    rates = {0: 100.0, 1: 99.0, 2: 100.5}
+    decision = decide_swaps(active=[0, 1], spares=[2], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 1000.0),
+                            comm_time=0.0, swap_cost=0.001,
+                            params=friendly_policy())
+    assert not decision.should_swap
+    assert "application improvement" in decision.rejected_reason
+
+
+def test_friendly_accepts_meaningful_gain():
+    rates = {0: 100.0, 1: 50.0, 2: 100.0}
+    decision = decide_swaps(active=[0, 1], spares=[2], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 1000.0),
+                            comm_time=0.0, swap_cost=0.001,
+                            params=friendly_policy())
+    assert decision.should_swap
+
+
+def test_comm_time_dilutes_app_improvement():
+    # Compute halves, but communication dominates the iteration.
+    rates = {0: 100.0, 1: 200.0}
+    params = PolicyParams(name="x", min_app_improvement=0.10)
+    without_comm = decide_swaps(active=[0], spares=[1], rates=rates,
+                                chunk_flops={0: 1000.0}, comm_time=0.0,
+                                swap_cost=0.001, params=params)
+    with_comm = decide_swaps(active=[0], spares=[1], rates=rates,
+                             chunk_flops={0: 1000.0}, comm_time=100.0,
+                             swap_cost=0.001, params=params)
+    assert without_comm.should_swap
+    assert not with_comm.should_swap
+
+
+def test_swapped_in_host_inherits_chunk():
+    # Unequal chunks: host 1 has the big chunk; its replacement gets it.
+    rates = {0: 100.0, 1: 100.0, 2: 150.0}
+    chunks = {0: 100.0, 1: 1000.0}
+    decision = decide_swaps(active=[0, 1], spares=[2], rates=rates,
+                            chunk_flops=chunks, comm_time=0.0,
+                            swap_cost=0.001, params=greedy_policy())
+    assert decision.moves[0].out_host == 1
+    assert decision.new_iteration_time == pytest.approx(1000.0 / 150.0)
+
+
+def test_max_swaps_cap():
+    rates = {0: 10.0, 1: 20.0, 2: 30.0, 3: 100.0, 4: 100.0, 5: 100.0}
+    params = greedy_policy().with_overrides(max_swaps_per_decision=1)
+    decision = decide_swaps(active=[0, 1, 2], spares=[3, 4, 5], rates=rates,
+                            chunk_flops=equal_chunks([0, 1, 2], 100.0),
+                            comm_time=0.0, swap_cost=0.001, params=params)
+    assert len(decision.moves) == 1
+    uncapped = decide_swaps(active=[0, 1, 2], spares=[3, 4, 5], rates=rates,
+                            chunk_flops=equal_chunks([0, 1, 2], 100.0),
+                            comm_time=0.0, swap_cost=0.001,
+                            params=greedy_policy())
+    assert len(uncapped.moves) == 3
+
+
+def test_tied_actives_swap_as_a_batch():
+    """Replacing one of several equally slow processors gains nothing
+    alone; the batch decision replaces them together."""
+    rates = {0: 10.0, 1: 10.0, 2: 10.0, 3: 100.0, 4: 100.0, 5: 100.0}
+    decision = decide_swaps(active=[0, 1, 2], spares=[3, 4, 5], rates=rates,
+                            chunk_flops=equal_chunks([0, 1, 2], 100.0),
+                            comm_time=0.0, swap_cost=0.001,
+                            params=greedy_policy())
+    assert len(decision.moves) == 3
+    assert decision.new_iteration_time == pytest.approx(1.0)
+
+
+def test_input_validation():
+    with pytest.raises(PolicyError):
+        decide_swaps(active=[], spares=[], rates={}, chunk_flops={},
+                     comm_time=0.0, swap_cost=0.0, params=greedy_policy())
+    with pytest.raises(PolicyError):
+        decide_swaps(active=[0], spares=[1], rates={0: 1.0},
+                     chunk_flops={0: 1.0}, comm_time=0.0, swap_cost=0.0,
+                     params=greedy_policy())
+    with pytest.raises(PolicyError):
+        decide_swaps(active=[0], spares=[], rates={0: 0.0},
+                     chunk_flops={0: 1.0}, comm_time=0.0, swap_cost=0.0,
+                     params=greedy_policy())
+
+
+# -- properties -------------------------------------------------------------------
+
+rate_lists = st.lists(st.floats(min_value=1.0, max_value=1e4),
+                      min_size=3, max_size=12)
+
+
+@given(rate_lists, st.integers(min_value=1, max_value=4))
+@settings(max_examples=80)
+def test_decision_never_worsens_prediction(rates_list, n_active):
+    n_active = min(n_active, len(rates_list) - 1)
+    hosts = list(range(len(rates_list)))
+    rates = dict(enumerate(rates_list))
+    active, spares = hosts[:n_active], hosts[n_active:]
+    decision = decide_swaps(active=active, spares=spares, rates=rates,
+                            chunk_flops=equal_chunks(active, 100.0),
+                            comm_time=0.0, swap_cost=0.01,
+                            params=greedy_policy())
+    assert decision.new_iteration_time <= decision.old_iteration_time + 1e-9
+    assert len(decision.moves) <= len(spares)
+    after = decision.active_set_after(active)
+    assert len(after) == len(active)
+    assert len(set(after)) == len(after)
+
+
+@given(rate_lists)
+@settings(max_examples=80)
+def test_stricter_policy_swaps_no_more_than_greedy(rates_list):
+    hosts = list(range(len(rates_list)))
+    rates = dict(enumerate(rates_list))
+    active, spares = hosts[:2], hosts[2:]
+    kwargs = dict(active=active, spares=spares, rates=rates,
+                  chunk_flops=equal_chunks(active, 100.0),
+                  comm_time=0.0, swap_cost=0.01)
+    greedy = decide_swaps(params=greedy_policy(), **kwargs)
+    strict = decide_swaps(params=safe_policy(), **kwargs)
+    assert len(strict.moves) <= len(greedy.moves)

@@ -1,0 +1,161 @@
+"""Tests for performance history and forecasters."""
+
+import pytest
+
+from repro.core.history import (
+    AdaptiveForecaster,
+    EwmaForecaster,
+    LastValueForecaster,
+    PerformanceHistory,
+    PerformanceMonitor,
+    WindowedMeanForecaster,
+    WindowedMedianForecaster,
+)
+from repro.errors import PolicyError
+
+
+def filled(window, samples):
+    history = PerformanceHistory(window)
+    for t, v in samples:
+        history.record(t, v)
+    return history
+
+
+# -- history window --------------------------------------------------------------
+
+def test_negative_window_rejected():
+    with pytest.raises(PolicyError):
+        PerformanceHistory(-1.0)
+
+
+def test_zero_window_keeps_only_last():
+    history = filled(0.0, [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)])
+    assert history.values() == [3.0]
+
+
+def test_window_trims_old_samples():
+    history = filled(10.0, [(0.0, 1.0), (5.0, 2.0), (12.0, 3.0)])
+    assert history.values() == [2.0, 3.0]
+
+
+def test_trim_against_query_time():
+    history = filled(10.0, [(0.0, 1.0), (5.0, 2.0)])
+    assert history.values(now=20.0) == [2.0]  # newest survives trimming
+
+
+def test_newest_sample_always_kept():
+    history = filled(1.0, [(0.0, 7.0)])
+    assert history.values(now=1e9) == [7.0]
+
+
+def test_out_of_order_samples_rejected():
+    history = filled(10.0, [(5.0, 1.0)])
+    with pytest.raises(PolicyError):
+        history.record(4.0, 2.0)
+
+
+def test_last_property():
+    history = filled(10.0, [(0.0, 1.0), (1.0, 9.0)])
+    assert history.last == 9.0
+    with pytest.raises(PolicyError):
+        PerformanceHistory(1.0).last
+
+
+# -- forecasters --------------------------------------------------------------------
+
+SAMPLES = [(0.0, 10.0), (10.0, 20.0), (20.0, 60.0)]
+
+
+def test_last_value_forecaster():
+    history = filled(100.0, SAMPLES)
+    assert LastValueForecaster().predict(history, 20.0) == 60.0
+
+
+def test_windowed_mean():
+    history = filled(100.0, SAMPLES)
+    assert WindowedMeanForecaster().predict(history, 20.0) == pytest.approx(30.0)
+
+
+def test_windowed_median():
+    history = filled(100.0, SAMPLES)
+    assert WindowedMedianForecaster().predict(history, 20.0) == pytest.approx(20.0)
+
+
+def test_mean_respects_window():
+    history = filled(15.0, SAMPLES)
+    # Window of 15 s at t=20 keeps samples at t=10 and t=20.
+    assert WindowedMeanForecaster().predict(history, 20.0) == pytest.approx(40.0)
+
+
+def test_ewma_weights_recent_more():
+    history = filled(100.0, SAMPLES)
+    ewma = EwmaForecaster(alpha=0.5).predict(history, 20.0)
+    assert 20.0 < ewma < 60.0
+    heavy = EwmaForecaster(alpha=0.9).predict(history, 20.0)
+    assert heavy > ewma  # more weight on the latest (largest) sample
+
+
+def test_ewma_alpha_validation():
+    with pytest.raises(PolicyError):
+        EwmaForecaster(alpha=0.0)
+    with pytest.raises(PolicyError):
+        EwmaForecaster(alpha=1.5)
+
+
+def test_forecasters_reject_empty_history():
+    empty = PerformanceHistory(10.0)
+    for forecaster in (WindowedMeanForecaster(), WindowedMedianForecaster(),
+                       EwmaForecaster(), AdaptiveForecaster()):
+        with pytest.raises(PolicyError):
+            forecaster.predict(empty, 0.0)
+
+
+def test_adaptive_single_sample_passthrough():
+    history = filled(100.0, [(0.0, 5.0)])
+    assert AdaptiveForecaster().predict(history, 0.0) == 5.0
+
+
+def test_adaptive_picks_last_value_on_trend():
+    # A strictly increasing series: last-value has the lowest one-step
+    # error, so the adaptive forecaster should track it.
+    samples = [(float(t), float(t)) for t in range(10)]
+    history = filled(1000.0, samples)
+    prediction = AdaptiveForecaster().predict(history, 9.0)
+    assert prediction == pytest.approx(
+        LastValueForecaster().predict(history, 9.0))
+
+
+def test_adaptive_needs_children():
+    with pytest.raises(PolicyError):
+        AdaptiveForecaster(children=[])
+
+
+# -- monitor ----------------------------------------------------------------------
+
+def test_monitor_records_per_resource():
+    monitor = PerformanceMonitor(window=100.0)
+    monitor.record("a", 0.0, 10.0)
+    monitor.record("b", 0.0, 99.0)
+    monitor.record("a", 1.0, 20.0)
+    assert monitor.predict("a", 1.0) == pytest.approx(15.0)
+    assert monitor.predict("b", 1.0) == pytest.approx(99.0)
+    assert set(monitor.known_resources()) == {"a", "b"}
+
+
+def test_monitor_unknown_resource_raises():
+    with pytest.raises(PolicyError):
+        PerformanceMonitor().predict("ghost", 0.0)
+
+
+def test_monitor_zero_window_defaults_to_last_value():
+    monitor = PerformanceMonitor(window=0.0)
+    monitor.record("a", 0.0, 1.0)
+    monitor.record("a", 1.0, 5.0)
+    assert monitor.predict("a", 1.0) == 5.0
+
+
+def test_monitor_windowed_defaults_to_mean():
+    monitor = PerformanceMonitor(window=100.0)
+    monitor.record("a", 0.0, 1.0)
+    monitor.record("a", 1.0, 5.0)
+    assert monitor.predict("a", 1.0) == pytest.approx(3.0)

@@ -1,0 +1,127 @@
+"""Tests for the payback algebra, anchored to the paper's worked example."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.payback import (
+    iterations_to_break_even,
+    payback_distance,
+    swap_time,
+)
+from repro.errors import PolicyError
+
+
+# -- swap_time ------------------------------------------------------------------
+
+def test_swap_time_formula():
+    assert swap_time(6e6, latency=0.5, bandwidth=6e6) == pytest.approx(1.5)
+
+
+def test_swap_time_zero_state_is_latency():
+    assert swap_time(0.0, latency=0.2, bandwidth=1e6) == pytest.approx(0.2)
+
+
+def test_swap_time_validation():
+    with pytest.raises(PolicyError):
+        swap_time(-1.0, 0.0, 1.0)
+    with pytest.raises(PolicyError):
+        swap_time(1.0, -0.1, 1.0)
+    with pytest.raises(PolicyError):
+        swap_time(1.0, 0.0, 0.0)
+
+
+# -- payback distance -----------------------------------------------------------
+
+def test_paper_example_doubling():
+    """Iteration and swap time both 10 s, performance doubles -> 2 iters."""
+    assert payback_distance(10.0, 10.0, 1.0, 2.0) == pytest.approx(2.0)
+
+
+def test_paper_example_quadrupling():
+    """Performance x4 -> payback 1 1/3 iterations."""
+    assert payback_distance(10.0, 10.0, 1.0, 4.0) == pytest.approx(4.0 / 3.0)
+
+
+def test_equal_performance_never_pays_back():
+    assert payback_distance(10.0, 10.0, 1.0, 1.0) == float("inf")
+
+
+def test_performance_drop_gives_negative():
+    assert payback_distance(10.0, 10.0, 2.0, 1.0) < 0.0
+
+
+def test_nonlinearity_in_performance_gain():
+    """Payback is by definition not linearly proportional to the gain."""
+    d2 = payback_distance(10.0, 10.0, 1.0, 2.0)
+    d4 = payback_distance(10.0, 10.0, 1.0, 4.0)
+    d8 = payback_distance(10.0, 10.0, 1.0, 8.0)
+    assert d2 > d4 > d8
+    assert d2 / d4 != pytest.approx(2.0)
+
+
+def test_validation():
+    with pytest.raises(PolicyError):
+        payback_distance(-1.0, 10.0, 1.0, 2.0)
+    with pytest.raises(PolicyError):
+        payback_distance(1.0, 0.0, 1.0, 2.0)
+    with pytest.raises(PolicyError):
+        payback_distance(1.0, 1.0, 0.0, 2.0)
+    with pytest.raises(PolicyError):
+        payback_distance(1.0, 1.0, 1.0, -2.0)
+
+
+def test_break_even_helper_matches_rate_form():
+    assert iterations_to_break_even(10.0, 10.0, 5.0) == pytest.approx(
+        payback_distance(10.0, 10.0, 1.0 / 10.0, 1.0 / 5.0))
+
+
+def test_break_even_simple_difference_form():
+    # cost / (old_iter - new_iter)
+    assert iterations_to_break_even(6.0, 10.0, 7.0) == pytest.approx(2.0)
+
+
+# -- properties -------------------------------------------------------------------
+
+positive = st.floats(min_value=1e-3, max_value=1e6)
+
+
+@given(positive, positive, positive, positive)
+@settings(max_examples=100)
+def test_sign_matches_gain_direction(cost, old_iter, old_perf, new_perf):
+    distance = payback_distance(cost, old_iter, old_perf, new_perf)
+    if new_perf > old_perf:
+        assert distance >= 0.0
+    elif new_perf < old_perf:
+        assert distance <= 0.0
+
+
+@given(positive, positive, positive,
+       st.floats(min_value=1.01, max_value=100.0))
+@settings(max_examples=100)
+def test_larger_gain_smaller_payback(cost, old_iter, old_perf, factor):
+    small_gain = payback_distance(cost, old_iter, old_perf, old_perf * factor)
+    big_gain = payback_distance(cost, old_iter, old_perf,
+                                old_perf * factor * 2.0)
+    assert big_gain <= small_gain
+
+
+@given(positive, positive, positive,
+       st.floats(min_value=1.01, max_value=100.0))
+@settings(max_examples=100)
+def test_payback_scales_linearly_with_cost(cost, old_iter, old_perf, factor):
+    new_perf = old_perf * factor
+    single = payback_distance(cost, old_iter, old_perf, new_perf)
+    double = payback_distance(2.0 * cost, old_iter, old_perf, new_perf)
+    assert double == pytest.approx(2.0 * single, rel=1e-9)
+
+
+@given(positive, positive, st.floats(min_value=1e-3, max_value=0.999))
+@settings(max_examples=100)
+def test_break_even_definition_holds(cost, old_iter, shrink):
+    """After `payback` iterations at the new rate, the time saved equals
+    the swap cost -- the definition of breaking even."""
+    new_iter = old_iter * shrink
+    payback = iterations_to_break_even(cost, old_iter, new_iter)
+    time_saved = payback * (old_iter - new_iter)
+    assert time_saved == pytest.approx(cost, rel=1e-6)

@@ -1,0 +1,84 @@
+"""Tests for policy parameters and the paper's three named policies."""
+
+import pytest
+
+from repro.core.policy import (
+    PolicyParams,
+    friendly_policy,
+    greedy_policy,
+    named_policy,
+    safe_policy,
+)
+from repro.errors import PolicyError
+from repro.units import MINUTE
+
+
+def test_greedy_matches_paper():
+    """'Infinite payback threshold, no minimum process improvement
+    threshold, no minimum application improvement threshold, and uses no
+    performance history.'"""
+    policy = greedy_policy()
+    assert policy.payback_threshold == float("inf")
+    assert policy.min_process_improvement == 0.0
+    assert policy.min_app_improvement == 0.0
+    assert policy.history_window == 0.0
+
+
+def test_safe_matches_paper():
+    """'A low payback threshold (0.5 iterations), a high minimum
+    improvement threshold (20%) ... a large amount of performance history
+    (5 minutes).'"""
+    policy = safe_policy()
+    assert policy.payback_threshold == 0.5
+    assert policy.min_process_improvement == pytest.approx(0.20)
+    assert policy.min_app_improvement == 0.0
+    assert policy.history_window == pytest.approx(5 * MINUTE)
+
+
+def test_friendly_matches_paper():
+    """'No minimum process improvement threshold, a slight overall
+    application improvement threshold (2%), and ... 1 minute [history].'"""
+    policy = friendly_policy()
+    assert policy.min_process_improvement == 0.0
+    assert policy.min_app_improvement == pytest.approx(0.02)
+    assert policy.history_window == pytest.approx(1 * MINUTE)
+    assert policy.payback_threshold == float("inf")
+
+
+def test_named_lookup():
+    assert named_policy("greedy").name == "greedy"
+    assert named_policy("safe").name == "safe"
+    assert named_policy("friendly").name == "friendly"
+    with pytest.raises(PolicyError):
+        named_policy("reckless")
+
+
+def test_validation():
+    with pytest.raises(PolicyError):
+        PolicyParams(name="x", payback_threshold=0.0)
+    with pytest.raises(PolicyError):
+        PolicyParams(name="x", min_process_improvement=-0.1)
+    with pytest.raises(PolicyError):
+        PolicyParams(name="x", min_app_improvement=-0.1)
+    with pytest.raises(PolicyError):
+        PolicyParams(name="x", history_window=-1.0)
+    with pytest.raises(PolicyError):
+        PolicyParams(name="x", max_swaps_per_decision=0)
+
+
+def test_with_overrides_creates_variant():
+    base = safe_policy()
+    variant = base.with_overrides(payback_threshold=2.0, name="safe-ish")
+    assert variant.payback_threshold == 2.0
+    assert variant.min_process_improvement == base.min_process_improvement
+    assert base.payback_threshold == 0.5  # original untouched
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        greedy_policy().payback_threshold = 1.0
+
+
+def test_describe_readable():
+    text = safe_policy().describe()
+    assert "safe" in text and "20%" in text and "300" in text

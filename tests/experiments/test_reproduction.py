@@ -1,0 +1,73 @@
+"""Fast reproduction regression tests.
+
+The full shape checks live in ``benchmarks/`` (8-seed sweeps with
+printed reports).  These single-seed versions run with the plain unit
+suite so a regression in any figure's qualitative claim is caught by
+``pytest tests/`` alone.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import get_scenario
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_sweep(get_scenario("fig4"), seeds=2)
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_sweep(get_scenario("fig8"), seeds=2)
+
+
+def test_fig4_quiescent_extreme_equal(fig4):
+    for name in ("swap-greedy", "dlb", "cr"):
+        assert abs(fig4.ratio_to(name)[0] - 1.0) < 0.06
+
+
+def test_fig4_swap_wins_in_the_middle(fig4):
+    assert fig4.best_improvement("swap-greedy") > 0.2
+    assert fig4.best_improvement("cr") > 0.15
+
+
+def test_fig4_swap_stops_helping_in_chaos(fig4):
+    assert fig4.ratio_to("swap-greedy")[-1] > 0.9
+
+
+def test_fig4_nothing_degrades_with_dynamism(fig4):
+    nothing = fig4.mean_of("nothing")
+    assert max(nothing) > 1.4 * nothing[0]
+
+
+def test_fig8_only_safe_is_appropriate(fig8):
+    safe = fig8.ratio_to("swap-safe")
+    greedy = fig8.ratio_to("swap-greedy")
+    assert max(safe) < 1.1
+    assert max(greedy) > 1.8
+
+
+def test_fig6_large_state_harms_swapping():
+    result = run_sweep(get_scenario("fig6"), seeds=2)
+    mid = result.x_values.index(0.5)
+    assert result.ratio_to("swap-1GB")[mid] > 1.3
+    assert result.ratio_to("swap-1MB")[mid] < 0.85
+
+
+def test_fig9_swapping_viable_at_every_lifetime():
+    result = run_sweep(get_scenario("fig9"), seeds=2)
+    assert all(r < 1.0 for r in result.ratio_to("swap-greedy"))
+
+
+def test_fig5_overallocation_helps_swap():
+    result = run_sweep(get_scenario("fig5"), seeds=2)
+    swap = result.ratio_to("swap-greedy")
+    assert swap[0] == pytest.approx(1.0)
+    assert min(swap[-2:]) < swap[0] - 0.1
+
+
+def test_eviction_extension_swap_absorbs_reclamation():
+    result = run_sweep(get_scenario("ext-eviction"), seeds=2)
+    swap = result.ratio_to("swap-greedy")
+    assert swap[-1] < 0.6

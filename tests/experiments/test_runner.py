@@ -1,0 +1,86 @@
+"""Tests for the sweep runner."""
+
+import pytest
+
+from repro.app.iterative import ApplicationSpec
+from repro.errors import ExperimentError
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import ExperimentSpec
+from repro.load.base import ConstantLoadModel
+from repro.platform.cluster import make_platform
+from repro.strategies.nothing import NothingStrategy
+from repro.strategies.swapstrat import SwapStrategy
+
+
+def tiny_spec(duplicate_labels=False):
+    def build(x, seed):
+        platform = make_platform(3, ConstantLoadModel(int(x)), seed=seed,
+                                 speed_range=(100e6, 200e6))
+        app = ApplicationSpec(n_processes=2, iterations=3,
+                              flops_per_iteration=2e8)
+        label2 = "nothing" if duplicate_labels else "swap-greedy"
+        return platform, [("nothing", app, NothingStrategy()),
+                          (label2, app, SwapStrategy())]
+
+    return ExperimentSpec(name="tiny", title="tiny sweep", xlabel="n",
+                          x_values=(0.0, 1.0, 2.0), build=build,
+                          paper_claim="toy", default_seeds=2)
+
+
+def test_run_sweep_shapes():
+    result = run_sweep(tiny_spec(), seeds=3)
+    assert result.x_values == [0.0, 1.0, 2.0]
+    assert set(result.series) == {"nothing", "swap-greedy"}
+    for stats in result.series.values():
+        assert len(stats.mean) == 3
+        assert len(stats.std) == 3
+        assert all(len(raw) == 3 for raw in stats.raw)
+
+
+def test_makespan_grows_with_load():
+    result = run_sweep(tiny_spec(), seeds=2)
+    means = result.mean_of("nothing")
+    assert means[0] < means[1] < means[2]
+
+
+def test_ratio_and_best_improvement():
+    result = run_sweep(tiny_spec(), seeds=2)
+    ratios = result.ratio_to("nothing", baseline="nothing")
+    assert all(r == pytest.approx(1.0) for r in ratios)
+    assert result.best_improvement("nothing") == pytest.approx(0.0)
+
+
+def test_unknown_series_raises():
+    result = run_sweep(tiny_spec(), seeds=1)
+    with pytest.raises(ExperimentError):
+        result.mean_of("dlb")
+
+
+def test_seed_argument_forms():
+    by_count = run_sweep(tiny_spec(), seeds=2)
+    by_iterable = run_sweep(tiny_spec(), seeds=[0, 1])
+    assert by_count.mean_of("nothing") == by_iterable.mean_of("nothing")
+    default = run_sweep(tiny_spec())
+    assert len(default.seeds) == 2  # default_seeds
+
+
+def test_empty_seeds_rejected():
+    with pytest.raises(ExperimentError):
+        run_sweep(tiny_spec(), seeds=[])
+
+
+def test_duplicate_labels_rejected():
+    with pytest.raises(ExperimentError):
+        run_sweep(tiny_spec(duplicate_labels=True), seeds=1)
+
+
+def test_progress_callback_invoked():
+    calls = []
+    run_sweep(tiny_spec(), seeds=2, on_point=lambda x, s: calls.append((x, s)))
+    assert len(calls) == 3 * 2
+
+
+def test_deterministic_across_invocations():
+    a = run_sweep(tiny_spec(), seeds=2)
+    b = run_sweep(tiny_spec(), seeds=2)
+    assert a.mean_of("swap-greedy") == b.mean_of("swap-greedy")

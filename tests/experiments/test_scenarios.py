@@ -1,0 +1,105 @@
+"""Tests for scenario definitions and the dynamism mapping."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.scenarios import (
+    ALL_SCENARIOS,
+    DYNAMISM,
+    OnOffDynamism,
+    get_scenario,
+)
+from repro.strategies.base import Strategy
+from repro.units import GB, MB
+
+
+def test_dynamism_bounds_checked():
+    with pytest.raises(ExperimentError):
+        DYNAMISM.params(-0.1)
+    with pytest.raises(ExperimentError):
+        DYNAMISM.params(1.1)
+
+
+def test_dynamism_endpoints():
+    p0, _q0 = DYNAMISM.params(0.0)
+    assert p0 == 0.0  # quiescent: load never arrives
+    p1, q1 = DYNAMISM.params(1.0)
+    assert p1 == 1.0  # load arrives at every step
+    # The stationary loaded fraction is preserved exactly at the cap.
+    assert p1 / (p1 + q1) == pytest.approx(DYNAMISM.on_fraction_scale)
+
+
+def test_dynamism_monotone_properties():
+    """Along the axis the loaded fraction rises and persistence falls."""
+    mapping = OnOffDynamism()
+    previous_on, previous_dwell = -1.0, float("inf")
+    for d in (0.1, 0.3, 0.5, 0.7, 0.9, 1.0):
+        p, q = mapping.params(d)
+        on_fraction = p / (p + q)
+        dwell = mapping.step / q
+        assert on_fraction > previous_on
+        assert dwell < previous_dwell
+        previous_on, previous_dwell = on_fraction, dwell
+
+
+def test_dynamism_stationary_fraction_matches_target():
+    mapping = OnOffDynamism()
+    for d in (0.2, 0.5, 0.8):
+        p, q = mapping.params(d)
+        assert p / (p + q) == pytest.approx(mapping.on_fraction_scale * d,
+                                            rel=1e-6)
+
+
+def test_scenario_lookup():
+    assert get_scenario("fig4").name == "fig4"
+    with pytest.raises(ExperimentError):
+        get_scenario("fig99")
+
+
+def test_all_scenarios_present():
+    for name in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+                 "ablation-payback", "ablation-history",
+                 "ablation-improvement", "ablation-maxswaps"):
+        assert name in ALL_SCENARIOS
+
+
+@pytest.mark.parametrize("name", sorted(ALL_SCENARIOS))
+def test_builders_construct_valid_variants(name):
+    spec = ALL_SCENARIOS[name]
+    x = spec.x_values[0]
+    platform, variants = spec.build(x, seed=0)
+    assert len(platform) >= 1
+    labels = [label for label, _a, _s in variants]
+    assert len(set(labels)) == len(labels)
+    for _label, app, strategy in variants:
+        assert isinstance(strategy, Strategy)
+        assert app.n_processes <= len(platform)
+
+
+def test_fig6_has_both_state_sizes():
+    _platform, variants = ALL_SCENARIOS["fig6"].build(0.3, seed=0)
+    by_label = {label: app for label, app, _s in variants}
+    assert by_label["swap-1MB"].state_bytes == pytest.approx(1 * MB)
+    assert by_label["swap-1GB"].state_bytes == pytest.approx(1 * GB)
+    assert by_label["cr-1GB"].state_bytes == pytest.approx(1 * GB)
+
+
+def test_fig8_uses_two_active_of_32():
+    platform, variants = ALL_SCENARIOS["fig8"].build(0.5, seed=0)
+    assert len(platform) == 32
+    assert all(app.n_processes == 2 for _l, app, _s in variants)
+
+
+def test_fig5_platform_grows_with_overallocation():
+    p0, _ = ALL_SCENARIOS["fig5"].build(0.0, seed=0)
+    p300, _ = ALL_SCENARIOS["fig5"].build(300.0, seed=0)
+    assert len(p0) == 8
+    assert len(p300) == 32
+
+
+def test_same_seed_same_platform_across_variants():
+    platform, variants = ALL_SCENARIOS["fig4"].build(0.5, seed=3)
+    # All variants literally share the platform object (same traces).
+    assert all(v is not None for v in variants)
+    again, _ = ALL_SCENARIOS["fig4"].build(0.5, seed=3)
+    assert [h.speed for h in platform.hosts] == [h.speed for h in again.hosts]

@@ -1,0 +1,53 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.app.iterative import ApplicationSpec
+from repro.core.policy import greedy_policy
+from repro.experiments.timeline import ascii_timeline
+from repro.load.base import ConstantLoadModel, LoadTrace
+from repro.platform.cluster import make_platform
+from repro.strategies.base import ExecutionResult
+from repro.strategies.nothing import NothingStrategy
+from repro.strategies.swapstrat import SwapStrategy
+from repro.units import MB
+
+
+def test_empty_run():
+    result = ExecutionResult(strategy="x", app=ApplicationSpec(
+        n_processes=1, iterations=1, flops_per_iteration=1.0))
+    assert ascii_timeline(result) == "(empty run)"
+
+
+def test_nothing_run_marks_fixed_hosts():
+    platform = make_platform(4, ConstantLoadModel(0), seed=0,
+                             speed_range=(100e6, 100e6 + 1e-6))
+    app = ApplicationSpec(n_processes=2, iterations=4,
+                          flops_per_iteration=2e8)
+    result = NothingStrategy().run(platform, app)
+    text = ascii_timeline(result, n_hosts=4)
+    rows = [line for line in text.splitlines()
+            if "|" in line and line.lstrip("> ").startswith("h")]
+    active_rows = [line for line in rows if "#" in line]
+    idle_rows = [line for line in rows if "#" not in line]
+    assert len(active_rows) == 2
+    assert len(idle_rows) == 2
+    # Final actives marked with '>'.
+    assert sum(1 for line in rows if line.startswith(">")) == 2
+
+
+def test_swap_run_shows_pause_and_migration():
+    platform = make_platform(4, ConstantLoadModel(0), seed=0,
+                             speed_range=(100e6, 100e6 + 1e-6))
+    victim = 0
+    platform.hosts[victim].trace = LoadTrace([0.0, 5.0, 1e12], [0, 3],
+                                             beyond_horizon="hold")
+    app = ApplicationSpec(n_processes=2, iterations=6,
+                          flops_per_iteration=2e9, state_bytes=20 * MB)
+    result = SwapStrategy(greedy_policy()).run(platform, app)
+    assert result.swap_count >= 1
+    text = ascii_timeline(result, n_hosts=4)
+    assert "=" in text            # the pause is visible
+    assert "swaps" in text
+    # The victim's row shows activity followed by idleness.
+    victim_row = [line for line in text.splitlines()
+                  if line.lstrip("> ").startswith("h00")][0]
+    assert "#" in victim_row and victim_row.rstrip().endswith(".")

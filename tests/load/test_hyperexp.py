@@ -1,0 +1,105 @@
+"""Tests for the degenerate hyperexponential load model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LoadModelError
+from repro.load.hyperexp import HyperexponentialLoadModel
+from repro.load.stats import trace_stats
+
+
+def test_parameter_validation():
+    with pytest.raises(LoadModelError):
+        HyperexponentialLoadModel(mean_lifetime=0.0)
+    with pytest.raises(LoadModelError):
+        HyperexponentialLoadModel(mean_lifetime=10.0, utilization=-0.1)
+    with pytest.raises(LoadModelError):
+        HyperexponentialLoadModel(mean_lifetime=10.0, branch_prob=0.0)
+    with pytest.raises(LoadModelError):
+        HyperexponentialLoadModel(mean_lifetime=10.0, branch_prob=1.5)
+
+
+def test_arrival_rate_keeps_offered_load_constant():
+    short = HyperexponentialLoadModel(mean_lifetime=10.0, utilization=0.5)
+    long = HyperexponentialLoadModel(mean_lifetime=1000.0, utilization=0.5)
+    assert short.arrival_rate * 10.0 == pytest.approx(0.5)
+    assert long.arrival_rate * 1000.0 == pytest.approx(0.5)
+
+
+def test_cv_squared_formula():
+    assert HyperexponentialLoadModel(10.0, branch_prob=0.1).cv_squared == (
+        pytest.approx(19.0))
+    assert HyperexponentialLoadModel(10.0, branch_prob=1.0).cv_squared == (
+        pytest.approx(1.0))
+
+
+def test_zero_utilization_is_idle_forever():
+    model = HyperexponentialLoadModel(mean_lifetime=60.0, utilization=0.0)
+    trace = model.build(np.random.default_rng(0), 1_000.0)
+    assert trace.value_at(100_000.0) == 0
+
+
+def test_mean_load_converges_to_utilization():
+    # M/G/inf: the long-run mean number in system equals the offered rho,
+    # insensitively to the service distribution.
+    rho = 0.6
+    model = HyperexponentialLoadModel(mean_lifetime=120.0, utilization=rho,
+                                      branch_prob=0.2)
+    means = []
+    for seed in range(8):
+        trace = model.build(np.random.default_rng(seed), 200_000.0)
+        means.append(trace_stats(trace, 0, 200_000.0).mean_load)
+    assert np.mean(means) == pytest.approx(rho, rel=0.15)
+
+
+def test_multiple_simultaneous_processes_occur():
+    model = HyperexponentialLoadModel(mean_lifetime=600.0, utilization=1.5,
+                                      branch_prob=0.5)
+    trace = model.build(np.random.default_rng(3), 50_000.0)
+    assert trace_stats(trace, 0, 50_000.0).max_load >= 2
+
+
+def test_lifetime_sampling_matches_mean():
+    model = HyperexponentialLoadModel(mean_lifetime=100.0, branch_prob=0.1)
+    rng = np.random.default_rng(0)
+    samples = [model._lifetime(rng) for _ in range(20_000)]
+    assert np.mean(samples) == pytest.approx(100.0, rel=0.1)
+    # Degenerate branch: most samples are exactly zero.
+    zero_fraction = np.mean([s == 0.0 for s in samples])
+    assert zero_fraction == pytest.approx(0.9, abs=0.02)
+
+
+def test_heavy_tail_vs_plain_exponential():
+    heavy = HyperexponentialLoadModel(100.0, branch_prob=0.1)
+    plain = HyperexponentialLoadModel(100.0, branch_prob=1.0)
+    rng_h = np.random.default_rng(1)
+    rng_p = np.random.default_rng(1)
+    h = [heavy._lifetime(rng_h) for _ in range(20_000)]
+    p = [plain._lifetime(rng_p) for _ in range(20_000)]
+    assert np.std(h) > 2.0 * np.std(p)
+
+
+def test_deterministic_given_seed():
+    model = HyperexponentialLoadModel(60.0, utilization=0.5)
+    a = model.build(np.random.default_rng(5), 10_000.0)
+    b = model.build(np.random.default_rng(5), 10_000.0)
+    assert a.segments() == b.segments()
+
+
+def test_lazy_extension_consistent_with_eager():
+    model = HyperexponentialLoadModel(60.0, utilization=0.5)
+    lazy = model.build(np.random.default_rng(8), 100.0)
+    eager = model.build(np.random.default_rng(8), 50_000.0)
+    for t in (50.0, 1_000.0, 20_000.0):
+        assert lazy.value_at(t) == eager.value_at(t)
+
+
+def test_counts_never_negative():
+    model = HyperexponentialLoadModel(30.0, utilization=0.8, branch_prob=0.3)
+    trace = model.build(np.random.default_rng(11), 20_000.0)
+    assert all(v >= 0 for _s, _e, v in trace.segments())
+
+
+def test_describe_mentions_parameters():
+    text = HyperexponentialLoadModel(60.0, utilization=0.4).describe()
+    assert "60" in text and "0.4" in text

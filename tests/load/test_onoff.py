@@ -1,0 +1,134 @@
+"""Tests for the ON/OFF Markov load model against its analytics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LoadModelError
+from repro.load.onoff import AggregatedOnOffLoadModel, OnOffLoadModel
+from repro.load.stats import trace_stats
+
+
+def build(p, q, seed=0, horizon=50_000.0, **kwargs):
+    model = OnOffLoadModel(p=p, q=q, **kwargs)
+    return model.build(np.random.default_rng(seed), horizon), model
+
+
+def test_probability_validation():
+    with pytest.raises(LoadModelError):
+        OnOffLoadModel(p=1.5, q=0.1)
+    with pytest.raises(LoadModelError):
+        OnOffLoadModel(p=0.1, q=-0.1)
+    with pytest.raises(LoadModelError):
+        OnOffLoadModel(p=0.1, q=0.1, step=0.0)
+    with pytest.raises(LoadModelError):
+        OnOffLoadModel(p=0.1, q=0.1, n_when_on=0)
+    with pytest.raises(LoadModelError):
+        OnOffLoadModel(p=0.1, q=0.1, start="confused")
+
+
+def test_stationary_probability_formula():
+    assert OnOffLoadModel(0.3, 0.08).stationary_on_probability == pytest.approx(
+        0.3 / 0.38)
+    assert OnOffLoadModel(0.0, 0.0).stationary_on_probability == 0.0
+
+
+def test_values_are_binary():
+    trace, _ = build(0.3, 0.08)
+    assert {v for _s, _e, v in trace.segments()} <= {0, 1}
+
+
+def test_busy_fraction_matches_stationary(seeded_averaging_tolerance=0.03):
+    # Average over several seeds: the ON fraction converges to p/(p+q).
+    p, q = 0.3, 0.08
+    fractions = []
+    for seed in range(8):
+        trace, model = build(p, q, seed=seed)
+        fractions.append(trace_stats(trace, 0, 50_000.0).busy_fraction)
+    assert np.mean(fractions) == pytest.approx(
+        p / (p + q), abs=seeded_averaging_tolerance)
+
+
+def test_mean_on_dwell_matches_geometric():
+    # Mean ON dwell = step / q.
+    q = 0.05
+    dwells = []
+    for seed in range(8):
+        trace, _ = build(0.5, q, seed=seed)
+        stats = trace_stats(trace, 0, 50_000.0)
+        dwells.append(stats.mean_busy_interval)
+    assert np.mean(dwells) == pytest.approx(10.0 / q, rel=0.1)
+
+
+def test_p_zero_never_loads():
+    trace, _ = build(0.0, 0.5, seed=3, horizon=5_000.0)
+    # Stationary start with p=0 means OFF forever.
+    assert trace_stats(trace, 0, 5_000.0).busy_fraction == 0.0
+
+
+def test_q_zero_sticks_on():
+    model = OnOffLoadModel(p=1.0, q=0.0, start="off")
+    trace = model.build(np.random.default_rng(0), 5_000.0)
+    # Switches ON after one step and never leaves.
+    assert trace.value_at(4_999.0) == 1
+    assert trace_stats(trace, 0, 5_000.0).busy_fraction > 0.99
+
+
+def test_forced_start_states():
+    on = OnOffLoadModel(0.1, 0.1, start="on").build(
+        np.random.default_rng(0), 100.0)
+    off = OnOffLoadModel(0.1, 0.1, start="off").build(
+        np.random.default_rng(0), 100.0)
+    assert on.value_at(0.0) == 1
+    assert off.value_at(0.0) == 0
+
+
+def test_transitions_align_to_step_multiples():
+    trace, model = build(0.3, 0.3, seed=5, horizon=2_000.0, step=10.0)
+    for start, _end, _v in trace.segments()[1:]:
+        assert start % 10.0 == pytest.approx(0.0, abs=1e-9)
+
+
+def test_deterministic_given_seed():
+    a, _ = build(0.25, 0.1, seed=42, horizon=3_000.0)
+    b, _ = build(0.25, 0.1, seed=42, horizon=3_000.0)
+    assert a.segments() == b.segments()
+
+
+def test_lazy_extension_consistent_with_eager():
+    """Querying far ahead must give the same trace as building far ahead."""
+    lazy, _ = build(0.2, 0.1, seed=9, horizon=100.0)
+    eager, _ = build(0.2, 0.1, seed=9, horizon=10_000.0)
+    for t in (50.0, 500.0, 5_000.0):
+        assert lazy.value_at(t) == eager.value_at(t)
+
+
+def test_n_when_on_scales_value():
+    model = OnOffLoadModel(1.0, 0.0, start="on", n_when_on=3)
+    trace = model.build(np.random.default_rng(0), 100.0)
+    assert trace.value_at(50.0) == 3
+
+
+def test_aggregated_sum_of_sources():
+    model = AggregatedOnOffLoadModel.homogeneous(4, p=1.0, q=0.0)
+    # All four sources stick ON once they flip, so the aggregate tends to 4.
+    trace = model.build(np.random.default_rng(2), 2_000.0)
+    assert trace.value_at(1_900.0) == 4
+
+
+def test_aggregated_needs_sources():
+    with pytest.raises(LoadModelError):
+        AggregatedOnOffLoadModel([])
+    with pytest.raises(LoadModelError):
+        AggregatedOnOffLoadModel.homogeneous(0, 0.1, 0.1)
+
+
+def test_aggregated_bounded_by_source_count():
+    model = AggregatedOnOffLoadModel.homogeneous(3, p=0.4, q=0.2)
+    trace = model.build(np.random.default_rng(7), 5_000.0)
+    stats = trace_stats(trace, 0, 5_000.0)
+    assert 0 <= stats.max_load <= 3
+
+
+def test_describe_mentions_parameters():
+    text = OnOffLoadModel(0.3, 0.08).describe()
+    assert "0.3" in text and "0.08" in text

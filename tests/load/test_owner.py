@@ -1,0 +1,84 @@
+"""Tests for the owner-reclamation load model (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LoadModelError
+from repro.load.base import ConstantLoadModel
+from repro.load.onoff import OnOffLoadModel
+from repro.load.owner import OwnerActivityModel
+from repro.load.stats import trace_stats
+
+
+def test_validation():
+    with pytest.raises(LoadModelError):
+        OwnerActivityModel(presence_fraction=1.0, mean_presence=60.0)
+    with pytest.raises(LoadModelError):
+        OwnerActivityModel(presence_fraction=-0.1, mean_presence=60.0)
+    with pytest.raises(LoadModelError):
+        OwnerActivityModel(presence_fraction=0.5, mean_presence=0.0)
+    with pytest.raises(LoadModelError):
+        OwnerActivityModel(presence_fraction=0.5, mean_presence=60.0,
+                           owner_weight=0)
+
+
+def test_zero_presence_reduces_to_base():
+    model = OwnerActivityModel(presence_fraction=0.0, mean_presence=600.0,
+                               base=ConstantLoadModel(2))
+    trace = model.build(np.random.default_rng(0), 5_000.0)
+    assert trace_stats(trace, 0, 5_000.0).max_load == 2
+
+
+def test_presence_throttles_to_owner_weight():
+    model = OwnerActivityModel(presence_fraction=0.5, mean_presence=300.0,
+                               owner_weight=49)
+    trace = model.build(np.random.default_rng(1), 20_000.0)
+    stats = trace_stats(trace, 0, 20_000.0)
+    assert stats.max_load == 49
+    # While revoked, the guest gets at most 1/50 of the CPU.
+    revoked_avail = 1.0 / (1.0 + 49)
+    assert revoked_avail == pytest.approx(0.02)
+
+
+def test_presence_fraction_converges():
+    model = OwnerActivityModel(presence_fraction=0.3, mean_presence=300.0)
+    fractions = []
+    for seed in range(8):
+        trace = model.build(np.random.default_rng(seed), 100_000.0)
+        stats = trace_stats(trace, 0, 100_000.0)
+        fractions.append(stats.busy_fraction)
+    assert np.mean(fractions) == pytest.approx(0.3, abs=0.05)
+
+
+def test_base_load_overlays_presence():
+    model = OwnerActivityModel(presence_fraction=0.5, mean_presence=300.0,
+                               base=ConstantLoadModel(1), owner_weight=10)
+    trace = model.build(np.random.default_rng(3), 20_000.0)
+    values = {v for _s, _e, v in trace.segments()}
+    # Either just the base competitor (owner away) or base + owner.
+    assert values <= {1, 11}
+    assert 11 in values and 1 in values
+
+
+def test_is_revoked_helper():
+    model = OwnerActivityModel(presence_fraction=0.5, mean_presence=300.0,
+                               owner_weight=20)
+    trace = model.build(np.random.default_rng(5), 20_000.0)
+    revoked_any = any(model.is_revoked(trace, t)
+                      for t in np.linspace(0, 20_000, 200))
+    free_any = any(not model.is_revoked(trace, t)
+                   for t in np.linspace(0, 20_000, 200))
+    assert revoked_any and free_any
+
+
+def test_deterministic_given_stream():
+    model = OwnerActivityModel(presence_fraction=0.4, mean_presence=200.0,
+                               base=OnOffLoadModel(0.1, 0.1))
+    a = model.build(np.random.default_rng(7), 5_000.0)
+    b = model.build(np.random.default_rng(7), 5_000.0)
+    assert a.segments() == b.segments()
+
+
+def test_describe():
+    text = OwnerActivityModel(0.25, 600.0).describe()
+    assert "25%" in text and "600" in text

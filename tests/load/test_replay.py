@@ -1,0 +1,122 @@
+"""Tests for the trace-replay load model."""
+
+import pytest
+
+from repro.errors import LoadModelError
+from repro.load.trace import ReplayLoadModel
+
+
+def test_validation():
+    with pytest.raises(LoadModelError):
+        ReplayLoadModel([], [])
+    with pytest.raises(LoadModelError):
+        ReplayLoadModel([1.0], [0])  # must start at 0
+    with pytest.raises(LoadModelError):
+        ReplayLoadModel([0.0, 0.0], [0, 1])  # not increasing
+    with pytest.raises(LoadModelError):
+        ReplayLoadModel([0.0], [-1])
+    with pytest.raises(LoadModelError):
+        ReplayLoadModel([0.0, 5.0], [0, 1], duration=4.0)
+
+
+def test_basic_replay():
+    model = ReplayLoadModel([0.0, 10.0, 20.0], [0, 2, 1], duration=30.0,
+                            cycle=False)
+    trace = model.build(None, 100.0)
+    assert trace.value_at(5.0) == 0
+    assert trace.value_at(15.0) == 2
+    assert trace.value_at(25.0) == 1
+    assert trace.value_at(99.0) == 1  # hold-last
+
+
+def test_cyclic_replay_repeats():
+    model = ReplayLoadModel([0.0, 10.0], [0, 3], duration=20.0, cycle=True)
+    trace = model.build(None, 200.0)
+    for cycle_start in (0.0, 20.0, 40.0, 140.0):
+        assert trace.value_at(cycle_start + 5.0) == 0
+        assert trace.value_at(cycle_start + 15.0) == 3
+
+
+def test_cyclic_integral_periodicity():
+    model = ReplayLoadModel([0.0, 10.0], [0, 1], duration=20.0, cycle=True)
+    trace = model.build(None, 500.0)
+    first = trace.integrate_availability(0.0, 20.0)
+    later = trace.integrate_availability(100.0, 120.0)
+    assert first == pytest.approx(later)
+    assert first == pytest.approx(15.0)  # 10 free + 10 at half
+
+
+def test_from_availability_roundtrip():
+    model = ReplayLoadModel.from_availability(
+        [0.0, 10.0, 20.0], [1.0, 0.5, 0.25], duration=30.0, cycle=False)
+    assert model.values == [0, 1, 3]
+
+
+def test_from_availability_validation():
+    with pytest.raises(LoadModelError):
+        ReplayLoadModel.from_availability([0.0], [0.0])
+    with pytest.raises(LoadModelError):
+        ReplayLoadModel.from_availability([0.0], [1.5])
+
+
+def test_default_duration_extends_past_last_sample():
+    model = ReplayLoadModel([0.0, 10.0], [1, 2])
+    assert model.duration > 10.0
+
+
+def test_describe_mentions_mode():
+    assert "cyclic" in ReplayLoadModel([0.0], [1], duration=5.0).describe()
+    assert "hold" in ReplayLoadModel([0.0], [1], duration=5.0,
+                                     cycle=False).describe()
+
+
+# -- diurnal preset --------------------------------------------------------------
+
+def test_diurnal_busy_fraction():
+    from repro.load.stats import trace_stats
+
+    model = ReplayLoadModel.diurnal()
+    trace = model.build(None, 3 * 86400.0)
+    stats = trace_stats(trace, 0.0, 3 * 86400.0)
+    # 8 working hours minus a 1-hour lunch = 7/24 of the day busy.
+    assert stats.busy_fraction == pytest.approx(7.0 / 24.0, abs=1e-6)
+    assert stats.max_load == 1
+
+
+def test_diurnal_schedule_spot_checks():
+    model = ReplayLoadModel.diurnal()
+    trace = model.build(None, 2 * 86400.0)
+    hour = 3600.0
+    day = 86400.0
+    assert trace.value_at(day + 10 * hour) == 1   # mid-morning
+    assert trace.value_at(day + 13 * hour) == 0   # lunch
+    assert trace.value_at(day + 15 * hour) == 1   # afternoon
+    assert trace.value_at(day + 20 * hour) == 0   # evening
+    assert trace.value_at(day + 3 * hour) == 0    # night
+
+
+def test_diurnal_phase_wraps_midnight():
+    from repro.load.stats import trace_stats
+
+    model = ReplayLoadModel.diurnal(phase_hours=10.0)  # night-shift owner
+    trace = model.build(None, 3 * 86400.0)
+    stats = trace_stats(trace, 0.0, 3 * 86400.0)
+    assert stats.busy_fraction == pytest.approx(7.0 / 24.0, abs=1e-6)
+    hour = 3600.0
+    # Work starts at 19:00; at 01:00 the (wrapped) afternoon block runs.
+    assert trace.value_at(86400.0 + 20 * hour) == 1
+    assert trace.value_at(86400.0 + 1 * hour) == 1
+    assert trace.value_at(86400.0 + 10 * hour) == 0
+
+
+def test_diurnal_validation():
+    with pytest.raises(LoadModelError):
+        ReplayLoadModel.diurnal(busy_hours=0.5, lunch_hours=1.0)
+    with pytest.raises(LoadModelError):
+        ReplayLoadModel.diurnal(busy_hours=25.0)
+
+
+def test_diurnal_custom_load_level():
+    model = ReplayLoadModel.diurnal(work_load=3)
+    trace = model.build(None, 86400.0)
+    assert trace.value_at(10 * 3600.0) == 3

@@ -1,0 +1,82 @@
+"""Tests for trace statistics on hand-built traces."""
+
+import pytest
+
+from repro.errors import LoadModelError
+from repro.load.base import LoadTrace
+from repro.load.stats import availability_series, load_series, trace_stats
+
+
+@pytest.fixture
+def alternating():
+    # 0..10 idle, 10..30 n=1, 30..40 idle, 40..50 n=2
+    return LoadTrace([0.0, 10.0, 30.0, 40.0, 50.0], [0, 1, 0, 2])
+
+
+def test_mean_load(alternating):
+    stats = trace_stats(alternating, 0.0, 50.0)
+    assert stats.mean_load == pytest.approx((20 * 1 + 10 * 2) / 50.0)
+
+
+def test_mean_availability(alternating):
+    stats = trace_stats(alternating, 0.0, 50.0)
+    expected = (10 * 1.0 + 20 * 0.5 + 10 * 1.0 + 10 * (1 / 3)) / 50.0
+    assert stats.mean_availability == pytest.approx(expected)
+
+
+def test_busy_fraction_and_max(alternating):
+    stats = trace_stats(alternating, 0.0, 50.0)
+    assert stats.busy_fraction == pytest.approx(30.0 / 50.0)
+    assert stats.max_load == 2
+
+
+def test_transition_rate(alternating):
+    stats = trace_stats(alternating, 0.0, 50.0)
+    assert stats.transition_rate == pytest.approx(3 / 50.0)
+
+
+def test_mean_busy_interval(alternating):
+    stats = trace_stats(alternating, 0.0, 50.0)
+    assert stats.mean_busy_interval == pytest.approx((20.0 + 10.0) / 2)
+
+
+def test_subwindow_statistics(alternating):
+    stats = trace_stats(alternating, 10.0, 30.0)
+    assert stats.busy_fraction == pytest.approx(1.0)
+    assert stats.mean_load == pytest.approx(1.0)
+    assert stats.transition_rate == 0.0
+
+
+def test_busy_interval_open_at_window_end():
+    trace = LoadTrace([0.0, 10.0, 100.0], [0, 1])
+    stats = trace_stats(trace, 0.0, 50.0)
+    assert stats.mean_busy_interval == pytest.approx(40.0)
+
+
+def test_never_busy_interval_is_zero():
+    trace = LoadTrace([0.0, 100.0], [0])
+    assert trace_stats(trace, 0.0, 100.0).mean_busy_interval == 0.0
+
+
+def test_empty_window_rejected(alternating):
+    with pytest.raises(LoadModelError):
+        trace_stats(alternating, 10.0, 10.0)
+
+
+def test_availability_series_shape(alternating):
+    times, values = availability_series(alternating, 0.0, 50.0, n_points=11)
+    assert len(times) == len(values) == 11
+    assert values[0] == pytest.approx(1.0)
+    assert min(values) == pytest.approx(1 / 3)
+
+
+def test_load_series_values(alternating):
+    times, values = load_series(alternating, 0.0, 50.0, n_points=51)
+    assert set(values) <= {0, 1, 2}
+
+
+def test_series_need_two_points(alternating):
+    with pytest.raises(LoadModelError):
+        availability_series(alternating, 0.0, 50.0, n_points=1)
+    with pytest.raises(LoadModelError):
+        load_series(alternating, 0.0, 50.0, n_points=1)

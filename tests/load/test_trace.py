@@ -1,0 +1,197 @@
+"""Tests for LoadTrace: validation, queries, exact integration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LoadModelError
+from repro.load.base import ConstantLoadModel, LoadTrace
+
+
+def make_trace(segments, **kwargs):
+    """Build a trace from (duration, value) pairs."""
+    times = [0.0]
+    values = []
+    for duration, value in segments:
+        times.append(times[-1] + duration)
+        values.append(value)
+    return LoadTrace(times, values, **kwargs)
+
+
+# -- validation ---------------------------------------------------------------
+
+def test_must_start_at_zero():
+    with pytest.raises(LoadModelError):
+        LoadTrace([1.0, 2.0], [0])
+
+
+def test_breakpoints_strictly_increasing():
+    with pytest.raises(LoadModelError):
+        LoadTrace([0.0, 1.0, 1.0], [0, 1])
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(LoadModelError):
+        LoadTrace([0.0, 1.0], [-1])
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(LoadModelError):
+        LoadTrace([0.0, 1.0, 2.0], [0])
+
+
+def test_unknown_beyond_horizon_mode_rejected():
+    with pytest.raises(LoadModelError):
+        LoadTrace([0.0, 1.0], [0], beyond_horizon="explode")
+
+
+# -- queries -------------------------------------------------------------------
+
+def test_value_at_segment_boundaries():
+    trace = make_trace([(10.0, 0), (10.0, 1), (10.0, 2)])
+    assert trace.value_at(0.0) == 0
+    assert trace.value_at(9.999) == 0
+    assert trace.value_at(10.0) == 1
+    assert trace.value_at(20.0) == 2
+
+
+def test_availability_is_fair_share():
+    trace = make_trace([(10.0, 0), (10.0, 3)])
+    assert trace.availability_at(5.0) == 1.0
+    assert trace.availability_at(15.0) == pytest.approx(0.25)
+
+
+def test_negative_time_rejected():
+    trace = make_trace([(10.0, 0)])
+    with pytest.raises(LoadModelError):
+        trace.value_at(-1.0)
+
+
+def test_hold_mode_extends_final_value():
+    trace = make_trace([(10.0, 2)], beyond_horizon="hold")
+    assert trace.value_at(1000.0) == 2
+
+
+def test_error_mode_raises_past_horizon():
+    trace = make_trace([(10.0, 2)], beyond_horizon="error")
+    with pytest.raises(LoadModelError):
+        trace.value_at(11.0)
+
+
+def test_integrate_availability_hand_computed():
+    # 10 s unloaded (10 units) + 10 s with n=1 (5 units)
+    trace = make_trace([(10.0, 0), (10.0, 1)])
+    assert trace.integrate_availability(0.0, 20.0) == pytest.approx(15.0)
+    assert trace.integrate_availability(5.0, 15.0) == pytest.approx(7.5)
+
+
+def test_mean_availability_point_query():
+    trace = make_trace([(10.0, 1)])
+    assert trace.mean_availability(3.0, 3.0) == pytest.approx(0.5)
+
+
+def test_empty_integration_window_rejected():
+    trace = make_trace([(10.0, 0)])
+    with pytest.raises(LoadModelError):
+        trace.integrate_availability(5.0, 4.0)
+
+
+# -- advance_work ----------------------------------------------------------------
+
+def test_advance_work_unloaded_is_identity():
+    trace = make_trace([(100.0, 0)])
+    assert trace.advance_work(0.0, 30.0) == pytest.approx(30.0)
+
+
+def test_advance_work_loaded_is_scaled():
+    trace = make_trace([(100.0, 1)])
+    assert trace.advance_work(0.0, 30.0) == pytest.approx(60.0)
+
+
+def test_advance_work_across_segments():
+    # 10 s at avail 1.0 covers 10 units; the other 10 at avail 0.5 take 20 s
+    trace = make_trace([(10.0, 0), (100.0, 1)])
+    assert trace.advance_work(0.0, 20.0) == pytest.approx(30.0)
+
+
+def test_advance_work_zero_demand():
+    trace = make_trace([(10.0, 0)])
+    assert trace.advance_work(4.0, 0.0) == 4.0
+
+
+def test_advance_work_negative_demand_rejected():
+    trace = make_trace([(10.0, 0)])
+    with pytest.raises(LoadModelError):
+        trace.advance_work(0.0, -1.0)
+
+
+def test_advance_work_extends_lazily_past_horizon():
+    trace = make_trace([(1.0, 1)], beyond_horizon="hold")
+    finish = trace.advance_work(0.0, 10.0)
+    assert finish == pytest.approx(20.0)  # all at availability 0.5
+
+
+def test_append_segment_merges_equal_values():
+    trace = make_trace([(10.0, 1)])
+    trace.append_segment(20.0, 1)
+    assert trace.n_segments == 1
+    trace.append_segment(30.0, 2)
+    assert trace.n_segments == 2
+
+
+def test_append_segment_must_extend():
+    trace = make_trace([(10.0, 1)])
+    with pytest.raises(LoadModelError):
+        trace.append_segment(5.0, 0)
+
+
+def test_constant_model_builds_extensible_trace():
+    trace = ConstantLoadModel(2).build(None, horizon=10.0)
+    assert trace.value_at(1e6) == 2
+    assert trace.mean_availability(0.0, 100.0) == pytest.approx(1 / 3)
+
+
+# -- property-based invariants ------------------------------------------------
+
+segment_lists = st.lists(
+    st.tuples(st.floats(min_value=0.1, max_value=100.0),
+              st.integers(min_value=0, max_value=5)),
+    min_size=1, max_size=12)
+
+
+@given(segment_lists, st.floats(min_value=0.0, max_value=0.99))
+@settings(max_examples=80)
+def test_integral_bounded_by_window(segments, frac):
+    trace = make_trace(segments)
+    t1 = trace.horizon * max(frac, 0.01)
+    integral = trace.integrate_availability(0.0, t1)
+    max_load = max(v for _d, v in segments)
+    assert 0.0 <= integral <= t1 + 1e-9
+    assert integral >= t1 / (1.0 + max_load) - 1e-9
+
+
+@given(segment_lists, st.floats(min_value=0.1, max_value=50.0))
+@settings(max_examples=80)
+def test_advance_work_inverts_integration(segments, demand):
+    trace = make_trace(segments, beyond_horizon="hold")
+    finish = trace.advance_work(0.0, demand)
+    assert trace.integrate_availability(0.0, finish) == pytest.approx(
+        demand, rel=1e-9, abs=1e-9)
+
+
+@given(segment_lists, st.floats(min_value=0.1, max_value=20.0),
+       st.floats(min_value=0.1, max_value=20.0))
+@settings(max_examples=80)
+def test_advance_work_is_additive(segments, first, second):
+    trace = make_trace(segments, beyond_horizon="hold")
+    direct = trace.advance_work(0.0, first + second)
+    mid = trace.advance_work(0.0, first)
+    chained = trace.advance_work(mid, second)
+    assert chained == pytest.approx(direct, rel=1e-9, abs=1e-6)
+
+
+@given(segment_lists, st.floats(min_value=0.1, max_value=20.0))
+@settings(max_examples=80)
+def test_advance_work_strictly_moves_forward(segments, demand):
+    trace = make_trace(segments, beyond_horizon="hold")
+    assert trace.advance_work(0.0, demand) >= demand - 1e-12

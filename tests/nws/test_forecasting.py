@@ -1,0 +1,123 @@
+"""Tests for the online forecaster bank."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PolicyError
+from repro.nws.forecasting import (
+    BankMonitor,
+    Forecast,
+    ForecasterBank,
+    default_methods,
+)
+
+
+def test_empty_bank_rejected():
+    with pytest.raises(PolicyError):
+        ForecasterBank(methods=[])
+
+
+def test_forecast_before_data_rejected():
+    with pytest.raises(PolicyError):
+        ForecasterBank().forecast()
+
+
+def test_single_sample_predicts_it():
+    bank = ForecasterBank()
+    bank.update(7.0)
+    forecast = bank.forecast()
+    assert forecast.value == pytest.approx(7.0)
+    assert forecast.n_samples == 1
+
+
+def test_constant_series_zero_error():
+    bank = ForecasterBank()
+    for _ in range(50):
+        bank.update(3.0)
+    forecast = bank.forecast()
+    assert forecast.value == pytest.approx(3.0)
+    assert forecast.error == pytest.approx(0.0)
+
+
+def test_trend_prefers_reactive_methods():
+    """On a strict trend, last-value / fast EWMA beat long means."""
+    bank = ForecasterBank()
+    for i in range(100):
+        bank.update(float(i))
+    leaderboard = dict(bank.leaderboard())
+    assert leaderboard["last"] < leaderboard["running-mean"]
+    winner = bank.leaderboard()[0][0]
+    assert winner in ("last", "ewma-0.6", "ewma-0.25")
+
+
+def test_noisy_level_prefers_smoothing():
+    """On i.i.d. noise around a level, smoothing beats last-value."""
+    rng = np.random.default_rng(0)
+    bank = ForecasterBank()
+    for _ in range(400):
+        bank.update(float(5.0 + rng.normal(0, 1.0)))
+    leaderboard = dict(bank.leaderboard())
+    assert leaderboard["running-mean"] < leaderboard["last"]
+    assert bank.forecast().value == pytest.approx(5.0, abs=0.5)
+
+
+def test_leaderboard_sorted():
+    bank = ForecasterBank()
+    for i in range(30):
+        bank.update(float(i % 5))
+    maes = [mae for _name, mae in bank.leaderboard()]
+    assert maes == sorted(maes)
+
+
+def test_forecast_has_provenance():
+    bank = ForecasterBank()
+    for i in range(10):
+        bank.update(1.0)
+    forecast = bank.forecast()
+    assert isinstance(forecast, Forecast)
+    assert forecast.method in {m.name for m in default_methods()}
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1,
+                max_size=80))
+@settings(max_examples=50)
+def test_bank_never_crashes_and_interpolates(values):
+    bank = ForecasterBank()
+    for v in values:
+        bank.update(float(v))
+    forecast = bank.forecast()
+    assert min(values) - 1e-9 <= forecast.value <= max(values) + 1e-9
+    assert forecast.error >= 0.0
+
+
+# -- BankMonitor --------------------------------------------------------------------
+
+def test_bank_monitor_per_resource():
+    monitor = BankMonitor()
+    for i in range(20):
+        monitor.record("a", float(i), 10.0)
+        monitor.record("b", float(i), 99.0)
+    assert monitor.predict("a") == pytest.approx(10.0)
+    assert monitor.forecast("b").value == pytest.approx(99.0)
+    assert set(monitor.known_resources()) == {"a", "b"}
+
+
+def test_bank_monitor_unknown_resource():
+    with pytest.raises(PolicyError):
+        BankMonitor().predict("ghost")
+
+
+def test_bank_monitor_tracks_nonstationary_signal():
+    """After a level shift, the bank converges to the new level faster
+    than a plain running mean would."""
+    monitor = BankMonitor()
+    t = 0.0
+    for _ in range(50):
+        monitor.record("cpu", t, 1.0)
+        t += 1.0
+    for _ in range(30):
+        monitor.record("cpu", t, 0.5)
+        t += 1.0
+    assert monitor.predict("cpu") == pytest.approx(0.5, abs=0.1)

@@ -1,0 +1,109 @@
+"""Tests for NWS-style sensors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.load.base import ConstantLoadModel, LoadTrace
+from repro.nws.sensors import BandwidthSensor, CpuSensor, MeasurementSeries
+from repro.platform.host import Host, HostSpec
+from repro.platform.network import LinkSpec
+
+
+def make_host(times, values, speed=100e6):
+    host = Host(HostSpec(name="h", speed=speed,
+                         load_model=ConstantLoadModel(0)),
+                np.random.default_rng(0))
+    host.trace = LoadTrace(times, values, beyond_horizon="hold")
+    return host
+
+
+# -- MeasurementSeries ---------------------------------------------------------
+
+def test_series_append_and_last():
+    series = MeasurementSeries(name="s")
+    series.append(0.0, 1.0)
+    series.append(5.0, 2.0)
+    assert len(series) == 2
+    assert series.last == 2.0
+
+
+def test_series_rejects_time_travel():
+    series = MeasurementSeries(name="s")
+    series.append(5.0, 1.0)
+    with pytest.raises(ReproError):
+        series.append(4.0, 2.0)
+
+
+def test_series_bounded_length():
+    series = MeasurementSeries(name="s", max_length=3)
+    for i in range(6):
+        series.append(float(i), float(i))
+    assert len(series) == 3
+    assert series.values == [3.0, 4.0, 5.0]
+
+
+def test_series_window():
+    series = MeasurementSeries(name="s")
+    for i in range(5):
+        series.append(float(i), float(i * 10))
+    assert series.window(1.0, 3.0) == [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]
+
+
+def test_empty_series_last_raises():
+    with pytest.raises(ReproError):
+        MeasurementSeries(name="s").last
+
+
+# -- CpuSensor --------------------------------------------------------------------
+
+def test_cpu_sensor_reads_availability():
+    host = make_host([0.0, 10.0, 100.0], [0, 1])
+    sensor = CpuSensor(host, period=5.0)
+    assert sensor.probe(0.0) == pytest.approx(1.0)
+    assert sensor.probe(20.0) == pytest.approx(0.5)
+    assert len(sensor.series) == 2
+
+
+def test_cpu_sensor_sample_range():
+    host = make_host([0.0, 50.0, 100.0], [0, 3])
+    sensor = CpuSensor(host, period=10.0)
+    series = sensor.sample_range(0.0, 100.0)
+    assert len(series) == 11
+    assert series.values[0] == pytest.approx(1.0)
+    assert series.values[-1] == pytest.approx(0.25)
+
+
+def test_cpu_sensor_period_validation():
+    host = make_host([0.0, 10.0], [0])
+    with pytest.raises(ReproError):
+        CpuSensor(host, period=0.0)
+
+
+# -- BandwidthSensor -----------------------------------------------------------------
+
+def test_bandwidth_probe_uncontended():
+    link = LinkSpec(latency=0.0, bandwidth=6e6)
+    sensor = BandwidthSensor(link, probe_bytes=6e6)
+    assert sensor.probe(0.0) == pytest.approx(6e6)
+
+
+def test_bandwidth_probe_latency_amortization():
+    """Small probes under-estimate bandwidth -- the classic NWS bias."""
+    link = LinkSpec(latency=1.0, bandwidth=6e6)
+    small = BandwidthSensor(link, probe_bytes=6e4).probe(0.0)
+    large = BandwidthSensor(link, probe_bytes=6e7).probe(0.0)
+    assert small < large < 6e6
+
+
+def test_bandwidth_probe_sees_contention():
+    link = LinkSpec(latency=0.0, bandwidth=6e6)
+    sensor = BandwidthSensor(link)
+    alone = sensor.probe(0.0, concurrent_flows=0)
+    shared = sensor.probe(1.0, concurrent_flows=2)
+    assert shared == pytest.approx(alone / 3)
+
+
+def test_bandwidth_probe_size_validation():
+    with pytest.raises(ReproError):
+        BandwidthSensor(LinkSpec(), probe_bytes=0.0)

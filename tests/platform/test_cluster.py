@@ -1,0 +1,87 @@
+"""Tests for platform assembly."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.load.base import ConstantLoadModel
+from repro.load.onoff import OnOffLoadModel
+from repro.platform.cluster import (
+    DEFAULT_STARTUP_PER_PROCESS,
+    Platform,
+    make_platform,
+)
+from repro.platform.host import Host, HostSpec
+from repro.simkernel.rng import RngRegistry
+
+
+def test_make_platform_basics():
+    platform = make_platform(8, ConstantLoadModel(0), seed=1)
+    assert len(platform) == 8
+    assert len({h.name for h in platform.hosts}) == 8
+    assert all(100e6 <= h.speed <= 500e6 for h in platform.hosts)
+    assert platform.startup_per_process == DEFAULT_STARTUP_PER_PROCESS
+
+
+def test_speeds_deterministic_per_seed():
+    a = make_platform(6, ConstantLoadModel(0), seed=3)
+    b = make_platform(6, ConstantLoadModel(0), seed=3)
+    c = make_platform(6, ConstantLoadModel(0), seed=4)
+    assert [h.speed for h in a.hosts] == [h.speed for h in b.hosts]
+    assert [h.speed for h in a.hosts] != [h.speed for h in c.hosts]
+
+
+def test_load_traces_deterministic_and_independent():
+    a = make_platform(4, OnOffLoadModel(0.3, 0.1), seed=5)
+    b = make_platform(4, OnOffLoadModel(0.3, 0.1), seed=5)
+    for ha, hb in zip(a.hosts, b.hosts):
+        assert ha.trace.segments() == hb.trace.segments()
+    # Different hosts get different load streams.
+    assert a.hosts[0].trace.segments() != a.hosts[1].trace.segments()
+
+
+def test_load_model_factory_per_host():
+    platform = make_platform(
+        3, lambda i: ConstantLoadModel(i), seed=0)
+    assert [h.trace.value_at(10.0) for h in platform.hosts] == [0, 1, 2]
+
+
+def test_startup_time_formula():
+    platform = make_platform(5, ConstantLoadModel(0), seed=0)
+    assert platform.startup_time(10) == pytest.approx(7.5)
+    assert platform.startup_time(0) == 0.0
+    with pytest.raises(PlatformError):
+        platform.startup_time(-1)
+
+
+def test_effective_rates_respects_indices():
+    platform = make_platform(6, ConstantLoadModel(0), seed=0)
+    rates = platform.effective_rates(0.0, indices=[1, 3])
+    assert set(rates) == {1, 3}
+    assert rates[1] == pytest.approx(platform.host(1).speed)
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(PlatformError):
+        make_platform(0, ConstantLoadModel(0))
+    with pytest.raises(PlatformError):
+        make_platform(2, ConstantLoadModel(0), speed_range=(0.0, 1e6))
+    with pytest.raises(PlatformError):
+        make_platform(2, ConstantLoadModel(0), speed_range=(2e6, 1e6))
+
+
+def test_duplicate_host_names_rejected():
+    spec = HostSpec(name="same", speed=1e6, load_model=ConstantLoadModel(0))
+    rng = RngRegistry(0)
+    hosts = [Host(spec, rng.stream("a")), Host(spec, rng.stream("b"))]
+    with pytest.raises(PlatformError):
+        Platform(hosts=hosts)
+
+
+def test_empty_platform_rejected():
+    with pytest.raises(PlatformError):
+        Platform(hosts=[])
+
+
+def test_host_indices_assigned():
+    platform = make_platform(4, ConstantLoadModel(0), seed=0)
+    assert [h.index for h in platform.hosts] == [0, 1, 2, 3]

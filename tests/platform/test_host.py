@@ -1,0 +1,76 @@
+"""Tests for hosts: effective rates and compute timing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlatformError
+from repro.load.base import ConstantLoadModel, LoadTrace
+from repro.platform.host import Host, HostSpec
+
+
+def host_with_trace(speed, times, values):
+    host = Host(HostSpec(name="h", speed=speed,
+                         load_model=ConstantLoadModel(0)),
+                np.random.default_rng(0))
+    host.trace = LoadTrace(times, values, beyond_horizon="hold")
+    return host
+
+
+def test_spec_validation():
+    with pytest.raises(PlatformError):
+        HostSpec(name="h", speed=0.0)
+    with pytest.raises(PlatformError):
+        HostSpec(name="h", speed=-1e6)
+
+
+def test_unloaded_compute_time():
+    host = host_with_trace(100e6, [0.0, 1000.0], [0])
+    assert host.compute_time(0.0, 1e9) == pytest.approx(10.0)
+
+
+def test_loaded_compute_time_doubles():
+    host = host_with_trace(100e6, [0.0, 1000.0], [1])
+    assert host.compute_time(0.0, 1e9) == pytest.approx(20.0)
+
+
+def test_compute_across_load_change():
+    # Unloaded 5 s (0.5e9 flop done), then loaded: remaining 0.5e9 takes 10 s
+    host = host_with_trace(100e6, [0.0, 5.0, 1000.0], [0, 1])
+    assert host.compute_finish(0.0, 1e9) == pytest.approx(15.0)
+
+
+def test_negative_flops_rejected():
+    host = host_with_trace(100e6, [0.0, 10.0], [0])
+    with pytest.raises(PlatformError):
+        host.compute_finish(0.0, -1.0)
+
+
+def test_instantaneous_effective_rate():
+    host = host_with_trace(200e6, [0.0, 10.0, 1000.0], [0, 3])
+    assert host.effective_rate(5.0) == pytest.approx(200e6)
+    assert host.effective_rate(20.0) == pytest.approx(50e6)
+
+
+def test_windowed_effective_rate():
+    host = host_with_trace(100e6, [0.0, 10.0, 1000.0], [0, 1])
+    # Window [0, 20]: half free, half at 0.5 => 0.75 availability.
+    assert host.effective_rate(20.0, window=20.0) == pytest.approx(75e6)
+
+
+def test_negative_window_rejected():
+    host = host_with_trace(100e6, [0.0, 10.0], [0])
+    with pytest.raises(PlatformError):
+        host.effective_rate(5.0, window=-1.0)
+
+
+def test_measured_rate():
+    host = host_with_trace(100e6, [0.0, 10.0], [0])
+    assert host.measured_rate(0.0, 10.0, 5e8) == pytest.approx(5e7)
+    with pytest.raises(PlatformError):
+        host.measured_rate(5.0, 5.0, 1.0)
+
+
+def test_host_name_and_speed_passthrough():
+    host = host_with_trace(123e6, [0.0, 10.0], [0])
+    assert host.name == "h"
+    assert host.speed == 123e6

@@ -1,0 +1,125 @@
+"""Tests for the shared link: analytic formulas and fair-share flows."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.network import FairShareLink, LinkSpec
+from repro.simkernel.engine import Simulator
+
+
+# -- LinkSpec ------------------------------------------------------------------
+
+def test_spec_validation():
+    with pytest.raises(PlatformError):
+        LinkSpec(latency=-1.0)
+    with pytest.raises(PlatformError):
+        LinkSpec(bandwidth=0.0)
+
+
+def test_transfer_time_is_paper_swap_time():
+    # swap time = alpha + size/beta; paper example vicinity: 1 GB at 6 MB/s
+    link = LinkSpec(latency=1e-3, bandwidth=6e6)
+    assert link.transfer_time(1e9) == pytest.approx(1e-3 + 1e9 / 6e6)
+    assert link.transfer_time(0.0) == pytest.approx(1e-3)
+
+
+def test_transfer_time_negative_rejected():
+    with pytest.raises(PlatformError):
+        LinkSpec().transfer_time(-1.0)
+
+
+def test_serialized_time_single_latency():
+    link = LinkSpec(latency=0.5, bandwidth=10.0)
+    assert link.serialized_time(100.0, n_messages=4) == pytest.approx(10.5)
+
+
+def test_exchange_phase_scales_with_processes():
+    link = LinkSpec(latency=0.0, bandwidth=1e6)
+    assert link.exchange_phase_time(1e6, 4) == pytest.approx(4.0)
+    assert link.exchange_phase_time(1e6, 1) == 0.0
+
+
+# -- FairShareLink ----------------------------------------------------------------
+
+def test_single_flow_timing():
+    sim = Simulator()
+    link = FairShareLink(sim, LinkSpec(latency=1.0, bandwidth=100.0))
+    done = link.transfer(500.0)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(6.0)  # 1 s latency + 5 s payload
+
+
+def test_zero_byte_transfer_costs_latency_only():
+    sim = Simulator()
+    link = FairShareLink(sim, LinkSpec(latency=0.25, bandwidth=100.0))
+    done = link.transfer(0.0)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(0.25)
+
+
+def test_two_equal_flows_share_bandwidth():
+    sim = Simulator()
+    link = FairShareLink(sim, LinkSpec(latency=0.0, bandwidth=100.0))
+    a = link.transfer(500.0)
+    b = link.transfer(500.0)
+    sim.run(until=a)
+    assert sim.now == pytest.approx(10.0)  # each got 50 B/s
+    sim.run(until=b)
+    assert sim.now == pytest.approx(10.0)
+
+
+def test_short_flow_finishes_then_long_flow_speeds_up():
+    sim = Simulator()
+    link = FairShareLink(sim, LinkSpec(latency=0.0, bandwidth=100.0))
+    short = link.transfer(100.0)
+    long = link.transfer(300.0)
+    sim.run(until=short)
+    assert sim.now == pytest.approx(2.0)  # 100 B at 50 B/s
+    sim.run(until=long)
+    # Long flow: 100 B during sharing, then 200 B at full speed.
+    assert sim.now == pytest.approx(4.0)
+
+
+def test_late_joiner_slows_existing_flow():
+    sim = Simulator()
+    link = FairShareLink(sim, LinkSpec(latency=0.0, bandwidth=100.0))
+    first = link.transfer(1000.0)
+
+    def join_later():
+        yield sim.timeout(5.0)
+        done = link.transfer(100.0)
+        yield done
+
+    sim.process(join_later())
+    sim.run(until=first)
+    # First: 500 B alone by t=5; shares at 50 B/s while the joiner moves
+    # its 100 B (t=5..7, first moves 100 B); then 400 B at full speed.
+    assert sim.now == pytest.approx(11.0)
+
+
+def test_total_bytes_delivered_conserved():
+    sim = Simulator()
+    link = FairShareLink(sim, LinkSpec(latency=0.0, bandwidth=50.0))
+    for size in (100.0, 200.0, 300.0):
+        link.transfer(size)
+    sim.run()
+    assert link.bytes_delivered == pytest.approx(600.0)
+    assert link.active_flows == 0
+
+
+def test_makespan_bounded_by_serialization():
+    """N concurrent equal flows finish exactly when a serialized batch
+    would: fair sharing conserves work."""
+    sim = Simulator()
+    link = FairShareLink(sim, LinkSpec(latency=0.0, bandwidth=10.0))
+    flows = [link.transfer(100.0) for _ in range(5)]
+    sim.run()
+    assert sim.now == pytest.approx(50.0)
+    assert all(f.processed for f in flows)
+
+
+def test_negative_size_rejected():
+    sim = Simulator()
+    link = FairShareLink(sim, LinkSpec())
+    with pytest.raises(PlatformError):
+        link.transfer(-5.0)

@@ -1,0 +1,129 @@
+"""Tests for events: triggering, callbacks, composition."""
+
+import pytest
+
+from repro.errors import ProcessError, SchedulingError
+from repro.simkernel.engine import Simulator
+from repro.simkernel.events import AllOf, AnyOf, Event, Timeout
+
+
+def test_fresh_event_is_pending(sim):
+    event = sim.event()
+    assert not event.triggered
+    assert not event.processed
+
+
+def test_value_before_trigger_raises(sim):
+    with pytest.raises(ProcessError):
+        sim.event().value
+
+
+def test_succeed_delivers_value(sim):
+    event = sim.event().succeed("payload")
+    sim.run()
+    assert event.processed and event.ok
+    assert event.value == "payload"
+
+
+def test_double_succeed_raises(sim):
+    event = sim.event().succeed()
+    with pytest.raises(ProcessError):
+        event.succeed()
+
+
+def test_fail_requires_exception(sim):
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_fail_carries_exception(sim):
+    event = sim.event()
+    exc = RuntimeError("x")
+    event.fail(exc)
+    event.defuse()
+    sim.run()
+    assert not event.ok
+    assert event.value is exc
+
+
+def test_callback_after_processed_runs_immediately(sim):
+    event = sim.event().succeed(1)
+    sim.run()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == [1]
+
+
+def test_trigger_copies_state(sim):
+    a = sim.event()
+    b = sim.event()
+    a.add_callback(b.trigger)
+    a.succeed("v")
+    sim.run()
+    assert b.value == "v"
+
+
+def test_timeout_negative_rejected(sim):
+    with pytest.raises(SchedulingError):
+        Timeout(sim, -0.5)
+
+
+def test_timeout_zero_fires_now(sim):
+    t = sim.timeout(0.0, value="now")
+    sim.run()
+    assert sim.now == 0.0 and t.value == "now"
+
+
+def test_anyof_fires_on_first(sim):
+    slow = sim.timeout(10.0, value="slow")
+    fast = sim.timeout(1.0, value="fast")
+    any_of = AnyOf(sim, [slow, fast])
+    sim.run(until=any_of)
+    assert sim.now == 1.0
+    assert any_of.value == {fast: "fast"}
+
+
+def test_allof_waits_for_all(sim):
+    a = sim.timeout(1.0, value="a")
+    b = sim.timeout(3.0, value="b")
+    all_of = AllOf(sim, [a, b])
+    sim.run(until=all_of)
+    assert sim.now == 3.0
+    assert all_of.value == {a: "a", b: "b"}
+
+
+def test_empty_condition_fires_immediately(sim):
+    all_of = AllOf(sim, [])
+    sim.run()
+    assert all_of.processed and all_of.value == {}
+
+
+def test_condition_rejects_foreign_events(sim):
+    other = Simulator()
+    with pytest.raises(SchedulingError):
+        AnyOf(sim, [sim.timeout(1.0), other.timeout(1.0)])
+
+
+def test_anyof_with_already_processed_member(sim):
+    done = sim.timeout(0.0, value=1)
+    sim.run()
+    any_of = AnyOf(sim, [done, sim.timeout(5.0)])
+    sim.run(until=any_of)
+    assert sim.now == 0.0
+
+
+def test_condition_propagates_failure(sim):
+    bad = sim.event()
+    cond = AllOf(sim, [bad, sim.timeout(1.0)])
+    bad.fail(ValueError("inner"))
+    cond.defuse()
+    sim.run()
+    assert not cond.ok
+    assert isinstance(cond.value, ValueError)
+
+
+def test_allof_many_members(sim):
+    events = [sim.timeout(float(i)) for i in range(10)]
+    all_of = AllOf(sim, events)
+    sim.run(until=all_of)
+    assert sim.now == 9.0

@@ -1,0 +1,178 @@
+"""Tests for coroutine processes: lifecycle, values, interrupts."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.simkernel.engine import Simulator
+from repro.simkernel.process import Interrupt
+
+
+def test_process_return_value(sim):
+    def proc():
+        yield sim.timeout(1.0)
+        return "result"
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "result"
+    assert not p.is_alive
+
+
+def test_process_receives_event_value(sim):
+    def proc():
+        got = yield sim.timeout(2.0, value="tick")
+        return got
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "tick"
+
+
+def test_process_requires_generator(sim):
+    with pytest.raises(ProcessError):
+        sim.process(lambda: None)
+
+
+def test_sequential_waits_accumulate_time(sim):
+    def proc():
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        yield sim.timeout(3.0)
+
+    p = sim.process(proc())
+    sim.run(until=p)
+    assert sim.now == 6.0
+
+
+def test_process_exception_fails_event(sim):
+    def proc():
+        yield sim.timeout(1.0)
+        raise RuntimeError("inside")
+
+    p = sim.process(proc())
+    p.defuse()
+    sim.run()
+    assert not p.ok
+    assert isinstance(p.value, RuntimeError)
+
+
+def test_process_waiting_on_process(sim):
+    def child():
+        yield sim.timeout(5.0)
+        return 10
+
+    def parent():
+        value = yield sim.process(child())
+        return value * 2
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == 20
+    assert sim.now == 5.0
+
+
+def test_yield_non_event_raises_inside_process(sim):
+    def proc():
+        try:
+            yield "not an event"
+        except ProcessError:
+            return "caught"
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "caught"
+
+
+def test_yield_foreign_event_fails_process(sim):
+    other = Simulator()
+
+    def proc():
+        yield other.timeout(1.0)
+
+    p = sim.process(proc())
+    p.defuse()
+    sim.run()
+    assert not p.ok
+
+
+def test_interrupt_delivers_cause(sim):
+    def victim():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            return interrupt.cause
+
+    p = sim.process(victim())
+
+    def interrupter():
+        yield sim.timeout(1.0)
+        p.interrupt("reason")
+
+    sim.process(interrupter())
+    sim.run(until=p)
+    assert p.value == "reason"
+    assert sim.now == 1.0
+
+
+def test_uncaught_interrupt_fails_process(sim):
+    def victim():
+        yield sim.timeout(100.0)
+
+    p = sim.process(victim())
+
+    def interrupter():
+        yield sim.timeout(1.0)
+        p.interrupt()
+
+    sim.process(interrupter())
+    p.defuse()
+    sim.run()
+    assert not p.ok
+    assert isinstance(p.value, Interrupt)
+
+
+def test_interrupt_terminated_process_raises(sim):
+    def quick():
+        return "done"
+        yield
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(ProcessError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_rewait(sim):
+    timer = sim.timeout(10.0, value="late")
+
+    def victim():
+        try:
+            got = yield timer
+        except Interrupt:
+            got = yield timer  # re-wait on the same event
+        return got
+
+    p = sim.process(victim())
+
+    def interrupter():
+        yield sim.timeout(1.0)
+        p.interrupt()
+
+    sim.process(interrupter())
+    sim.run(until=p)
+    assert p.value == "late"
+    assert sim.now == 10.0
+
+
+def test_process_is_event_for_conditions(sim):
+    from repro.simkernel.events import AllOf
+
+    def worker(duration):
+        yield sim.timeout(duration)
+        return duration
+
+    ps = [sim.process(worker(d)) for d in (1.0, 4.0, 2.0)]
+    done = AllOf(sim, ps)
+    sim.run(until=done)
+    assert sim.now == 4.0
+    assert [p.value for p in ps] == [1.0, 4.0, 2.0]

@@ -1,0 +1,188 @@
+"""Tests for simulated MPI collectives."""
+
+import pytest
+
+from repro.load.base import ConstantLoadModel
+from repro.platform.cluster import make_platform
+from repro.platform.network import LinkSpec
+from repro.simkernel.engine import Simulator
+from repro.smpi.runtime import MpiRuntime
+
+
+def run_collective(n, main, latency=0.0, bandwidth=1e9):
+    sim = Simulator()
+    platform = make_platform(n, ConstantLoadModel(0), seed=0,
+                             speed_range=(100e6, 100e6 + 1e-6))
+    runtime = MpiRuntime(sim, platform.hosts,
+                         link=LinkSpec(latency=latency, bandwidth=bandwidth),
+                         startup_per_process=0.0)
+    job = runtime.launch([main] * n)
+    return job.run_to_completion()
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_barrier_synchronizes(n):
+    def main(rank):
+        # Stagger arrivals; everyone must leave at the latest arrival.
+        yield from rank.sleep(float(rank.world_rank))
+        yield from rank.barrier()
+        return rank.now
+
+    results = run_collective(n, main)
+    assert all(t == pytest.approx(results[0]) for t in results)
+    assert results[0] >= n - 1
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 7])
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast_delivers_root_value(n, root):
+    root_rank = n - 1 if root == "last" else 0
+
+    def main(rank):
+        value = f"secret{rank.world_rank}" if rank.world_rank == root_rank \
+            else None
+        result = yield from rank.bcast(value, nbytes=10.0, root=root_rank)
+        return result
+
+    results = run_collective(n, main)
+    assert results == [f"secret{root_rank}"] * n
+
+
+@pytest.mark.parametrize("n", [1, 2, 5])
+def test_gather_collects_in_rank_order(n):
+    def main(rank):
+        result = yield from rank.gather(rank.world_rank * 10, root=0)
+        return result
+
+    results = run_collective(n, main)
+    assert results[0] == [i * 10 for i in range(n)]
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("n", [1, 3, 6])
+def test_scatter_distributes(n):
+    def main(rank):
+        values = [f"item{i}" for i in range(n)] if rank.world_rank == 0 \
+            else None
+        result = yield from rank.scatter(values, root=0)
+        return result
+
+    results = run_collective(n, main)
+    assert results == [f"item{i}" for i in range(n)]
+
+
+def test_scatter_requires_full_list():
+    def main(rank):
+        if rank.world_rank == 0:
+            try:
+                yield from rank.scatter([1], root=0)
+            except Exception as exc:
+                return type(exc).__name__
+        else:
+            return None
+
+    results = run_collective(3, main)
+    assert results[0] == "MpiError"
+
+
+@pytest.mark.parametrize("n", [1, 2, 5])
+def test_reduce_folds_at_root(n):
+    def main(rank):
+        result = yield from rank.reduce(rank.world_rank + 1,
+                                        op=lambda a, b: a + b, root=0)
+        return result
+
+    results = run_collective(n, main)
+    assert results[0] == n * (n + 1) // 2
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 6])
+def test_allreduce_everyone_gets_total(n):
+    def main(rank):
+        result = yield from rank.allreduce(rank.world_rank + 1,
+                                           op=lambda a, b: a + b)
+        return result
+
+    results = run_collective(n, main)
+    assert results == [n * (n + 1) // 2] * n
+
+
+@pytest.mark.parametrize("n", [1, 2, 5])
+def test_allgather(n):
+    def main(rank):
+        result = yield from rank.allgather(chr(ord("a") + rank.world_rank))
+        return result
+
+    results = run_collective(n, main)
+    expected = [chr(ord("a") + i) for i in range(n)]
+    assert results == [expected] * n
+
+
+def test_successive_collectives_do_not_cross_talk():
+    def main(rank):
+        first = yield from rank.allreduce(1, op=lambda a, b: a + b)
+        second = yield from rank.allreduce(10, op=lambda a, b: a + b)
+        return (first, second)
+
+    results = run_collective(4, main)
+    assert results == [(4, 40)] * 4
+
+
+def test_bcast_time_scales_with_payload():
+    def main(rank):
+        value = "data" if rank.world_rank == 0 else None
+        yield from rank.bcast(value, nbytes=1e6, root=0)
+        return rank.now
+
+    fast = run_collective(4, main, bandwidth=1e9)
+    slow = run_collective(4, main, bandwidth=1e6)
+    assert max(slow) > max(fast)
+
+
+def test_collectives_with_compute_interleaved():
+    def main(rank):
+        yield from rank.compute(1e7 * (rank.world_rank + 1))
+        total = yield from rank.allreduce(rank.world_rank,
+                                          op=lambda a, b: a + b)
+        yield from rank.barrier()
+        return total
+
+    results = run_collective(3, main)
+    assert results == [3, 3, 3]
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 6])
+def test_alltoall_personalized_exchange(n):
+    def main(rank):
+        values = [f"{rank.world_rank}->{j}" for j in range(n)]
+        result = yield from rank.alltoall(values, nbytes=10.0)
+        return result
+
+    results = run_collective(n, main)
+    for receiver in range(n):
+        assert results[receiver] == [f"{i}->{receiver}" for i in range(n)]
+
+
+def test_alltoall_requires_full_list():
+    def main(rank):
+        if rank.world_rank == 0:
+            try:
+                yield from rank.alltoall([1], nbytes=1.0)
+            except Exception as exc:
+                return type(exc).__name__
+        else:
+            return None
+
+    results = run_collective(3, main)
+    assert results[0] == "MpiError"
+
+
+def test_alltoall_then_allreduce_no_crosstalk():
+    def main(rank):
+        mine = yield from rank.alltoall(
+            [rank.world_rank * 10 + j for j in range(3)])
+        total = yield from rank.allreduce(sum(mine), op=lambda a, b: a + b)
+        return total
+
+    results = run_collective(3, main)
+    assert len(set(results)) == 1

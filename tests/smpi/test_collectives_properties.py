@@ -1,0 +1,86 @@
+"""Property-based tests of the simulated MPI collectives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.load.base import ConstantLoadModel
+from repro.platform.cluster import make_platform
+from repro.platform.network import LinkSpec
+from repro.simkernel.engine import Simulator
+from repro.smpi.runtime import MpiRuntime
+
+
+def run_collective(n, main):
+    sim = Simulator()
+    platform = make_platform(n, ConstantLoadModel(0), seed=0,
+                             speed_range=(100e6, 100e6 + 1e-6))
+    runtime = MpiRuntime(sim, platform.hosts,
+                         link=LinkSpec(latency=1e-4, bandwidth=1e9),
+                         startup_per_process=0.0)
+    return runtime.launch([main] * n).run_to_completion()
+
+
+@given(st.integers(min_value=1, max_value=9),
+       st.integers(min_value=0, max_value=8),
+       st.integers(min_value=-1000, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_bcast_any_root_any_size(n, root, value):
+    root = root % n
+
+    def main(rank):
+        payload = value if rank.world_rank == root else None
+        result = yield from rank.bcast(payload, nbytes=8.0, root=root)
+        return result
+
+    assert run_collective(n, main) == [value] * n
+
+
+@given(st.integers(min_value=1, max_value=9),
+       st.integers(min_value=0, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_gather_then_scatter_roundtrip(n, root):
+    root = root % n
+
+    def main(rank):
+        gathered = yield from rank.gather(rank.world_rank ** 2, root=root)
+        mine = yield from rank.scatter(gathered, root=root)
+        return mine
+
+    assert run_collective(n, main) == [i ** 2 for i in range(n)]
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100),
+                min_size=1, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_allreduce_sum_equals_python_sum(values):
+    n = len(values)
+
+    def main(rank):
+        result = yield from rank.allreduce(values[rank.world_rank],
+                                           op=lambda a, b: a + b)
+        return result
+
+    assert run_collective(n, main) == [sum(values)] * n
+
+
+@given(st.integers(min_value=1, max_value=8),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_repeated_barriers_stay_matched(n, repeats):
+    def main(rank):
+        for _ in range(repeats):
+            yield from rank.barrier()
+        return rank.world_rank
+
+    assert run_collective(n, main) == list(range(n))
+
+
+@given(st.integers(min_value=2, max_value=8))
+@settings(max_examples=20, deadline=None)
+def test_allgather_order_is_rank_order(n):
+    def main(rank):
+        result = yield from rank.allgather(rank.world_rank * 3)
+        return result
+
+    expected = [i * 3 for i in range(n)]
+    assert run_collective(n, main) == [expected] * n

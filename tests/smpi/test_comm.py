@@ -1,0 +1,47 @@
+"""Tests for MPI groups and communicators."""
+
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.smpi.comm import Communicator, Group
+
+
+def test_group_rank_mapping():
+    group = Group([5, 2, 9])
+    assert group.size == 3
+    assert group.rank_of(5) == 0
+    assert group.rank_of(9) == 2
+    assert group.world_rank(1) == 2
+    assert group.contains(2) and not group.contains(3)
+
+
+def test_group_validation():
+    with pytest.raises(CommunicatorError):
+        Group([1, 1])
+    with pytest.raises(CommunicatorError):
+        Group([-1])
+    with pytest.raises(CommunicatorError):
+        Group([0, 1]).rank_of(5)
+    with pytest.raises(CommunicatorError):
+        Group([0, 1]).world_rank(2)
+
+
+def test_communicator_context_ids_unique():
+    group = Group([0, 1])
+    a, b = Communicator(group), Communicator(group)
+    assert a.context_id != b.context_id
+
+
+def test_sub_communicator_reindexes():
+    world = Communicator(Group(range(6)), name="world")
+    sub = world.sub([4, 1])
+    assert sub.size == 2
+    assert sub.rank_of(4) == 0
+    assert sub.rank_of(1) == 1
+    assert sub.context_id != world.context_id
+
+
+def test_sub_requires_membership():
+    world = Communicator(Group([0, 1, 2]))
+    with pytest.raises(CommunicatorError):
+        world.sub([0, 7])

@@ -1,0 +1,44 @@
+"""Tests for message envelopes and matching."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.smpi.datatypes import ANY_SOURCE, ANY_TAG, Message, Status, match
+
+
+def envelope(**overrides):
+    defaults = dict(source=0, dest=1, tag=5, comm_id=9, nbytes=100.0,
+                    payload="x")
+    defaults.update(overrides)
+    return Message(**defaults)
+
+
+def test_message_validation():
+    with pytest.raises(MpiError):
+        envelope(tag=-1)
+    with pytest.raises(MpiError):
+        envelope(nbytes=-1.0)
+
+
+def test_match_requires_comm():
+    assert match(envelope(), comm_id=9, source=0, tag=5)
+    assert not match(envelope(), comm_id=8, source=0, tag=5)
+
+
+def test_match_wildcards():
+    assert match(envelope(), comm_id=9, source=ANY_SOURCE, tag=5)
+    assert match(envelope(), comm_id=9, source=0, tag=ANY_TAG)
+    assert match(envelope(), comm_id=9, source=ANY_SOURCE, tag=ANY_TAG)
+
+
+def test_match_specific_mismatches():
+    assert not match(envelope(), comm_id=9, source=1, tag=5)
+    assert not match(envelope(), comm_id=9, source=0, tag=6)
+
+
+def test_status_set_from():
+    status = Status()
+    status.set_from(envelope())
+    assert status.source == 0
+    assert status.tag == 5
+    assert status.nbytes == 100.0

@@ -1,0 +1,229 @@
+"""Tests for simulated MPI point-to-point messaging."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.load.base import ConstantLoadModel
+from repro.platform.cluster import make_platform
+from repro.platform.network import LinkSpec
+from repro.simkernel.engine import Simulator
+from repro.smpi.datatypes import ANY_SOURCE, ANY_TAG, Status
+from repro.smpi.runtime import MpiRuntime
+
+
+def make_runtime(n=2, latency=0.0, bandwidth=1e6, startup=0.0):
+    sim = Simulator()
+    platform = make_platform(n, ConstantLoadModel(0), seed=0,
+                             speed_range=(100e6, 100e6 + 1e-6))
+    runtime = MpiRuntime(sim, platform.hosts,
+                         link=LinkSpec(latency=latency, bandwidth=bandwidth),
+                         startup_per_process=startup)
+    return sim, runtime
+
+
+def run_mains(runtime, mains, *args):
+    job = runtime.launch(mains, *args)
+    return job.run_to_completion()
+
+
+def test_send_recv_payload():
+    sim, runtime = make_runtime()
+
+    def sender(rank):
+        yield from rank.send(1, nbytes=100.0, payload={"x": 1}, tag=3)
+
+    def receiver(rank):
+        message = yield from rank.recv(source=0, tag=3)
+        return message.payload
+
+    results = run_mains(runtime, [sender, receiver])
+    assert results[1] == {"x": 1}
+
+
+def test_transfer_time_matches_link():
+    sim, runtime = make_runtime(latency=0.5, bandwidth=100.0)
+
+    def sender(rank):
+        yield from rank.send(1, nbytes=50.0)
+
+    def receiver(rank):
+        yield from rank.recv(source=0)
+        return rank.now
+
+    results = run_mains(runtime, [sender, receiver])
+    assert results[1] == pytest.approx(0.5 + 0.5)
+
+
+def test_startup_cost_delays_everyone():
+    sim, runtime = make_runtime(startup=0.75)
+
+    def main(rank):
+        return rank.now
+        yield
+
+    results = run_mains(runtime, [main, main])
+    assert results == [1.5, 1.5]
+
+
+def test_tag_matching_out_of_order():
+    sim, runtime = make_runtime()
+
+    def sender(rank):
+        yield from rank.send(1, payload="first", tag=1)
+        yield from rank.send(1, payload="second", tag=2)
+
+    def receiver(rank):
+        second = yield from rank.recv(source=0, tag=2)
+        first = yield from rank.recv(source=0, tag=1)
+        return (second.payload, first.payload)
+
+    results = run_mains(runtime, [sender, receiver])
+    assert results[1] == ("second", "first")
+
+
+def test_any_source_any_tag_with_status():
+    sim, runtime = make_runtime(n=3)
+
+    def sender(rank):
+        yield from rank.send(2, payload=f"from{rank.world_rank}",
+                             tag=rank.world_rank)
+
+    def receiver(rank):
+        got = []
+        for _ in range(2):
+            status = Status()
+            message = yield from rank.recv(source=ANY_SOURCE, tag=ANY_TAG,
+                                           status=status)
+            got.append((status.source, status.tag, message.payload))
+        return sorted(got)
+
+    results = run_mains(runtime, [sender, sender, receiver])
+    assert results[2] == [(0, 0, "from0"), (1, 1, "from1")]
+
+
+def test_isend_overlaps_with_compute():
+    sim, runtime = make_runtime(latency=0.0, bandwidth=100.0)
+
+    def sender(rank):
+        pending = rank.isend(1, nbytes=100.0)   # 1 s on the wire
+        yield from rank.compute(1e8)            # 1 s of compute
+        yield pending
+        return rank.now
+
+    def receiver(rank):
+        yield from rank.recv(source=0)
+        return rank.now
+
+    results = run_mains(runtime, [sender, receiver])
+    assert results[0] == pytest.approx(1.0)  # overlapped, not 2 s
+
+
+def test_communicator_isolation():
+    sim, runtime = make_runtime(n=2)
+    sub = runtime.world.sub([0, 1], name="private")
+
+    def sender(rank):
+        yield from rank.send(1, payload="world", tag=0)
+        yield from rank.send(1, payload="private", tag=0, comm=sub)
+
+    def receiver(rank):
+        private = yield from rank.recv(source=0, tag=0, comm=sub)
+        world = yield from rank.recv(source=0, tag=0)
+        return (private.payload, world.payload)
+
+    results = run_mains(runtime, [sender, receiver])
+    assert results[1] == ("private", "world")
+
+
+def test_probe_counts_queued_messages():
+    sim, runtime = make_runtime()
+
+    def sender(rank):
+        yield from rank.send(1, tag=4)
+        yield from rank.send(1, tag=4)
+
+    def receiver(rank):
+        yield from rank.sleep(1.0)
+        return rank.probe(source=0, tag=4)
+
+    results = run_mains(runtime, [sender, receiver])
+    assert results[1] == 2
+
+
+def test_rank_outside_comm_rejected():
+    sim, runtime = make_runtime(n=3)
+    sub = runtime.world.sub([0, 1])
+
+    def outsider(rank):
+        if rank.world_rank == 2:
+            with pytest.raises(MpiError):
+                rank.irecv(comm=sub)
+        return None
+        yield
+
+    run_mains(runtime, [outsider, outsider, outsider])
+
+
+def test_user_tag_space_enforced():
+    sim, runtime = make_runtime()
+
+    def main(rank):
+        if rank.world_rank == 0:
+            with pytest.raises(MpiError):
+                yield from rank.send(1, tag=1 << 21)
+        return None
+
+    def other(rank):
+        return None
+        yield
+
+    run_mains(runtime, [main, other])
+
+
+def test_compute_respects_host_load():
+    sim = Simulator()
+    platform = make_platform(1, ConstantLoadModel(1), seed=0,
+                             speed_range=(100e6, 100e6 + 1e-6))
+    runtime = MpiRuntime(sim, platform.hosts, startup_per_process=0.0)
+
+    def main(rank):
+        yield from rank.compute(1e8)
+        return rank.now
+
+    results = run_mains(runtime, [main])
+    assert results[0] == pytest.approx(2.0)  # halved by the competitor
+
+
+def test_waitall_collects_in_order():
+    sim, runtime = make_runtime(n=3)
+
+    def sender(rank):
+        yield from rank.send(2, payload="a", tag=1)
+        yield from rank.send(2, payload="b", tag=2)
+
+    def other(rank):
+        return None
+        yield
+
+    def receiver(rank):
+        pending = [rank.irecv(source=0, tag=2), rank.irecv(source=0, tag=1)]
+        messages = yield from rank.waitall(pending)
+        return [m.payload for m in messages]
+
+    results = run_mains(runtime, [sender, other, receiver])
+    assert results[2] == ["b", "a"]
+
+
+def test_waitall_empty_is_noop():
+    sim, runtime = make_runtime(n=2)
+
+    def main(rank):
+        values = yield from rank.waitall([])
+        return values
+
+    def other(rank):
+        return None
+        yield
+
+    results = run_mains(runtime, [main, other])
+    assert results[0] == []

@@ -1,0 +1,89 @@
+"""Tests for the MPI runtime wiring (launch, jobs, validation)."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.load.base import ConstantLoadModel
+from repro.platform.cluster import make_platform
+from repro.simkernel.engine import Simulator
+from repro.smpi.runtime import MpiJob, MpiRuntime
+
+
+def hosts(n):
+    return make_platform(n, ConstantLoadModel(0), seed=0,
+                         speed_range=(100e6, 100e6 + 1e-6)).hosts
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(MpiError):
+        MpiRuntime(sim, [])
+    with pytest.raises(MpiError):
+        MpiRuntime(sim, hosts(2), startup_per_process=-1.0)
+
+
+def test_world_communicator_shape():
+    runtime = MpiRuntime(Simulator(), hosts(3))
+    assert runtime.size == 3
+    assert runtime.world.size == 3
+    assert runtime.world.name == "MPI_COMM_WORLD"
+
+
+def test_host_of_bounds():
+    runtime = MpiRuntime(Simulator(), hosts(2))
+    assert runtime.host_of(1).name == "host001"
+    with pytest.raises(MpiError):
+        runtime.host_of(2)
+    with pytest.raises(MpiError):
+        runtime.host_of(-1)
+
+
+def test_launch_requires_one_main_per_rank():
+    runtime = MpiRuntime(Simulator(), hosts(3))
+
+    def main(rank):
+        return rank.world_rank
+        yield
+
+    with pytest.raises(MpiError):
+        runtime.launch([main, main])
+
+
+def test_results_before_completion_raises():
+    sim = Simulator()
+    runtime = MpiRuntime(sim, hosts(2), startup_per_process=1.0)
+
+    def main(rank):
+        yield from rank.sleep(10.0)
+        return rank.world_rank
+
+    job = runtime.launch([main, main])
+    with pytest.raises(MpiError):
+        job.results()
+    assert job.run_to_completion() == [0, 1]
+    assert isinstance(job, MpiJob)
+
+
+def test_launch_args_forwarded():
+    runtime = MpiRuntime(Simulator(), hosts(2), startup_per_process=0.0)
+
+    def main(rank, factor, offset):
+        return rank.world_rank * factor + offset
+        yield
+
+    job = runtime.launch([main, main], 10, 5)
+    assert job.run_to_completion() == [5, 15]
+
+
+def test_message_counter_increments():
+    sim = Simulator()
+    runtime = MpiRuntime(sim, hosts(2), startup_per_process=0.0)
+
+    def sender(rank):
+        yield from rank.send(1, nbytes=10.0)
+
+    def receiver(rank):
+        yield from rank.recv(source=0)
+
+    runtime.launch([sender, receiver]).run_to_completion()
+    assert runtime.messages_delivered == 1

@@ -1,0 +1,97 @@
+"""Tests for the checkpoint/restart strategy."""
+
+import pytest
+
+from repro.app.iterative import ApplicationSpec
+from repro.core.policy import greedy_policy, safe_policy
+from repro.load.base import ConstantLoadModel, LoadTrace
+from repro.platform.cluster import make_platform
+from repro.strategies.cr import CrStrategy
+from repro.strategies.nothing import NothingStrategy
+from repro.units import MB
+
+
+def app(n, iters=6, flops=4e8, state=1 * MB):
+    return ApplicationSpec(n_processes=n, iterations=iters,
+                           flops_per_iteration=flops, state_bytes=state)
+
+
+def homogeneous(n, seed=0):
+    return make_platform(n, ConstantLoadModel(0), seed=seed,
+                         speed_range=(100e6, 100e6 + 1e-6))
+
+
+def load_host(platform, index, n_competing, from_t):
+    platform.hosts[index].trace = LoadTrace(
+        [0.0, from_t, 1e12], [0, n_competing], beyond_horizon="hold")
+
+
+def test_restart_cost_formula():
+    platform = homogeneous(4)
+    a = app(2, state=6e6)
+    cost = CrStrategy().restart_cost(platform, a)
+    link = platform.link
+    expected = 2 * link.serialized_time(2 * 6e6, 2) + 2 * 0.75
+    assert cost == pytest.approx(expected)
+
+
+def test_no_restarts_when_quiescent():
+    platform = homogeneous(6)
+    result = CrStrategy().run(platform, app(2))
+    assert result.restart_count == 0
+    assert result.overhead_time == 0.0
+
+
+def test_migrates_whole_set_away_from_load():
+    platform = homogeneous(6)
+    load_host(platform, 0, 3, from_t=5.0)
+    load_host(platform, 1, 3, from_t=5.0)
+    result = CrStrategy().run(platform, app(2, iters=8))
+    assert result.restart_count >= 1
+    assert set(result.final_active).isdisjoint({0, 1})
+
+
+def test_restart_overhead_accounted():
+    platform = homogeneous(6)
+    load_host(platform, 0, 3, from_t=5.0)
+    load_host(platform, 1, 3, from_t=5.0)
+    a = app(2, iters=8)
+    result = CrStrategy().run(platform, a)
+    cost = CrStrategy().restart_cost(platform, a)
+    assert result.overhead_time == pytest.approx(cost * result.restart_count)
+
+
+def test_cr_beats_nothing_under_persistent_load():
+    a = app(2, iters=10)
+    p1, p2 = homogeneous(6), homogeneous(6)
+    for p in (p1, p2):
+        load_host(p, 0, 3, from_t=5.0)
+        load_host(p, 1, 3, from_t=5.0)
+    assert CrStrategy().run(p1, a).makespan < (
+        NothingStrategy().run(p2, a).makespan)
+
+
+def test_initial_startup_covers_only_active_processes():
+    platform = homogeneous(6)
+    result = CrStrategy().run(platform, app(2))
+    assert result.startup_time == pytest.approx(2 * 0.75)
+
+
+def test_policy_gates_apply():
+    """With a strict payback threshold, an expensive restart for a modest
+    gain is refused."""
+    platform = homogeneous(6)
+    load_host(platform, 0, 1, from_t=5.0)  # only a 2x slowdown on one host
+    a = app(2, iters=8, state=200 * MB)    # restart moves 2 x 200 MB twice
+    strict = CrStrategy(safe_policy().with_overrides(history_window=0.0))
+    result = strict.run(platform, a)
+    assert result.restart_count == 0
+
+
+def test_name_reflects_policy():
+    assert CrStrategy().name == "cr"
+    assert CrStrategy(safe_policy()).name == "cr-safe"
+
+
+def test_greedy_default_policy():
+    assert CrStrategy().policy == greedy_policy()

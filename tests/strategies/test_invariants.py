@@ -1,0 +1,96 @@
+"""Cross-strategy invariants on shared stochastic platforms."""
+
+import pytest
+
+from repro.app.iterative import ApplicationSpec
+from repro.core.policy import friendly_policy, greedy_policy, safe_policy
+from repro.load.onoff import OnOffLoadModel
+from repro.platform.cluster import make_platform
+from repro.strategies.cr import CrStrategy
+from repro.strategies.dlb import DlbStrategy
+from repro.strategies.nothing import NothingStrategy
+from repro.strategies.swapstrat import SwapStrategy
+from repro.units import MB
+
+APP = ApplicationSpec(n_processes=4, iterations=15,
+                      flops_per_iteration=4 * 9e9,
+                      bytes_per_process=1e5, state_bytes=1 * MB)
+
+
+def platform_for(seed):
+    return make_platform(12, OnOffLoadModel(p=0.02, q=0.03), seed=seed,
+                         speed_range=(250e6, 350e6))
+
+
+ALL_STRATEGIES = [NothingStrategy(), SwapStrategy(greedy_policy()),
+                  SwapStrategy(safe_policy()), SwapStrategy(friendly_policy()),
+                  DlbStrategy(), CrStrategy()]
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES,
+                         ids=lambda s: s.name)
+def test_runs_are_deterministic(strategy):
+    first = strategy.run(platform_for(3), APP)
+    second = strategy.run(platform_for(3), APP)
+    assert first.makespan == second.makespan
+    assert first.swap_count == second.swap_count
+    assert first.final_active == second.final_active
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES,
+                         ids=lambda s: s.name)
+def test_makespan_above_physical_lower_bound(strategy):
+    """No strategy can beat the aggregate unloaded compute rate."""
+    platform = platform_for(5)
+    result = strategy.run(platform, APP)
+    best_rate = max(h.speed for h in platform.hosts)
+    lower_bound = APP.iterations * APP.chunk_flops / best_rate
+    assert result.makespan > lower_bound
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES,
+                         ids=lambda s: s.name)
+def test_accounting_consistent(strategy):
+    result = strategy.run(platform_for(7), APP)
+    assert result.iteration_count == APP.iterations
+    assert result.makespan == pytest.approx(
+        result.startup_time
+        + sum(r.duration for r in result.records)
+        + result.overhead_time)
+    assert len(result.final_active) == APP.n_processes
+    for record in result.records:
+        assert record.compute_end <= record.end + 1e-9
+        assert len(record.active) == APP.n_processes
+
+
+def test_swap_equals_nothing_when_no_spares():
+    """With zero over-allocation, SWAP degenerates to NOTHING (plus no
+    extra startup: the pool is exactly N)."""
+    app = ApplicationSpec(n_processes=4, iterations=10,
+                          flops_per_iteration=4 * 9e9, state_bytes=1 * MB)
+    swap = SwapStrategy(greedy_policy()).run(
+        make_platform(4, OnOffLoadModel(0.05, 0.05), seed=2,
+                      speed_range=(250e6, 350e6)), app)
+    nothing = NothingStrategy().run(
+        make_platform(4, OnOffLoadModel(0.05, 0.05), seed=2,
+                      speed_range=(250e6, 350e6)), app)
+    assert swap.makespan == pytest.approx(nothing.makespan)
+    assert swap.swap_count == 0
+
+
+def test_same_platform_object_reusable_across_strategies():
+    """Running one strategy must not perturb the platform for the next
+    (trace extension is append-only and shared)."""
+    platform = platform_for(11)
+    first = NothingStrategy().run(platform, APP)
+    SwapStrategy(greedy_policy()).run(platform, APP)
+    CrStrategy().run(platform, APP)
+    again = NothingStrategy().run(platform, APP)
+    assert again.makespan == first.makespan
+
+
+def test_greedy_swaps_at_least_as_often_as_safe():
+    platform = platform_for(13)
+    greedy = SwapStrategy(greedy_policy()).run(platform, APP)
+    safe = SwapStrategy(safe_policy()).run(platform, APP)
+    assert greedy.swap_count >= safe.swap_count

@@ -1,0 +1,85 @@
+"""Tests for the NOTHING baseline on hand-computable platforms."""
+
+import pytest
+
+from repro.app.iterative import ApplicationSpec
+from repro.errors import StrategyError
+from repro.load.base import ConstantLoadModel
+from repro.platform.cluster import make_platform
+from repro.platform.network import LinkSpec
+from repro.strategies.nothing import NothingStrategy
+
+
+def dedicated_platform(n=4, speed=100e6, **kwargs):
+    return make_platform(n, ConstantLoadModel(0), seed=0,
+                         speed_range=(speed, speed + 1e-6), **kwargs)
+
+
+def app(n=4, iters=5, flops=4e8, comm=0.0):
+    return ApplicationSpec(n_processes=n, iterations=iters,
+                           flops_per_iteration=flops, bytes_per_process=comm)
+
+
+def test_makespan_hand_computed_no_comm():
+    platform = dedicated_platform()
+    result = NothingStrategy().run(platform, app())
+    # startup 4 * 0.75 = 3 s; each iteration 1e8 flop / 1e8 flop/s = 1 s.
+    assert result.startup_time == pytest.approx(3.0)
+    assert result.makespan == pytest.approx(3.0 + 5.0)
+
+
+def test_comm_phase_added_each_iteration():
+    platform = dedicated_platform(link=LinkSpec(latency=0.5, bandwidth=1e6))
+    result = NothingStrategy().run(platform, app(comm=1e6))
+    comm_time = 0.5 + 4e6 / 1e6  # latency + serialized payloads
+    assert result.makespan == pytest.approx(3.0 + 5.0 * (1.0 + comm_time))
+
+
+def test_constant_load_halves_throughput():
+    platform = make_platform(4, ConstantLoadModel(1), seed=0,
+                             speed_range=(100e6, 100e6 + 1e-6))
+    result = NothingStrategy().run(platform, app())
+    assert result.makespan == pytest.approx(3.0 + 5.0 * 2.0)
+
+
+def test_slowest_host_dominates_iteration():
+    platform = make_platform(
+        2, lambda i: ConstantLoadModel(i), seed=0,  # host 1 loaded (n=1)
+        speed_range=(100e6, 100e6 + 1e-6))
+    result = NothingStrategy().run(platform, app(n=2, flops=2e8))
+    # Host 1 runs its 1e8 chunk at 50 MF/s -> 2 s per iteration.
+    assert result.makespan == pytest.approx(2 * 0.75 + 5 * 2.0)
+
+
+def test_records_and_progress_consistent():
+    platform = dedicated_platform()
+    result = NothingStrategy().run(platform, app())
+    assert result.iteration_count == 5
+    assert result.swap_count == 0 and result.restart_count == 0
+    assert result.overhead_time == 0.0
+    times, iters = result.progress.curve()
+    assert iters[-1] == 5
+    assert times[-1] == pytest.approx(result.makespan)
+    for a, b in zip(result.records, result.records[1:]):
+        assert b.start == pytest.approx(a.end)
+
+
+def test_active_set_is_fixed():
+    platform = dedicated_platform()
+    result = NothingStrategy().run(platform, app())
+    sets = {r.active for r in result.records}
+    assert len(sets) == 1
+    assert result.final_active in sets
+
+
+def test_too_many_processes_rejected():
+    platform = dedicated_platform(n=2)
+    with pytest.raises(StrategyError):
+        NothingStrategy().run(platform, app(n=4))
+
+
+def test_single_process_has_no_comm_phase():
+    platform = dedicated_platform(n=1, link=LinkSpec(latency=1.0,
+                                                     bandwidth=1.0))
+    result = NothingStrategy().run(platform, app(n=1, flops=1e8, comm=1e6))
+    assert result.makespan == pytest.approx(0.75 + 5.0)

@@ -1,0 +1,44 @@
+"""Tests for the pre-execution scheduler."""
+
+import pytest
+
+from repro.errors import StrategyError
+from repro.load.base import ConstantLoadModel
+from repro.platform.cluster import make_platform
+from repro.strategies.scheduler import initial_schedule, rank_hosts
+
+
+def test_ranks_by_unloaded_speed_when_dedicated():
+    platform = make_platform(6, ConstantLoadModel(0), seed=2)
+    ranked = rank_hosts(platform, 0.0)
+    speeds = [platform.host(h).speed for h in ranked]
+    assert speeds == sorted(speeds, reverse=True)
+
+
+def test_initial_schedule_picks_n_fastest():
+    platform = make_platform(6, ConstantLoadModel(0), seed=2)
+    chosen = initial_schedule(platform, 3)
+    all_ranked = rank_hosts(platform, 0.0)
+    assert chosen == all_ranked[:3]
+
+
+def test_load_at_startup_changes_ranking():
+    # All speeds equal-ish per seed; load host 0 heavily at t=0.
+    platform = make_platform(
+        4, lambda i: ConstantLoadModel(3 if i == 0 else 0), seed=2)
+    chosen = initial_schedule(platform, 3)
+    assert 0 not in chosen
+
+
+def test_schedule_validation():
+    platform = make_platform(4, ConstantLoadModel(0), seed=2)
+    with pytest.raises(StrategyError):
+        initial_schedule(platform, 0)
+    with pytest.raises(StrategyError):
+        initial_schedule(platform, 5)
+
+
+def test_ties_broken_by_index():
+    platform = make_platform(4, ConstantLoadModel(0), seed=2,
+                             speed_range=(300e6, 300e6))
+    assert initial_schedule(platform, 4) == [0, 1, 2, 3]

@@ -1,0 +1,88 @@
+"""Tests for the dynamic-spawning swap strategy (extension)."""
+
+import pytest
+
+from repro.app.iterative import ApplicationSpec
+from repro.core.policy import greedy_policy, safe_policy
+from repro.load.base import ConstantLoadModel, LoadTrace
+from repro.platform.cluster import make_platform
+from repro.strategies.spawnswap import SpawnSwapStrategy
+from repro.strategies.swapstrat import SwapStrategy
+from repro.units import MB
+
+
+def app(n, iters=6, flops=4e8, state=1 * MB):
+    return ApplicationSpec(n_processes=n, iterations=iters,
+                           flops_per_iteration=flops, state_bytes=state)
+
+
+def homogeneous(n, seed=0):
+    return make_platform(n, ConstantLoadModel(0), seed=seed,
+                         speed_range=(100e6, 100e6 + 1e-6))
+
+
+def load_host(platform, index, n_competing, from_t):
+    platform.hosts[index].trace = LoadTrace(
+        [0.0, from_t, 1e12], [0, n_competing], beyond_horizon="hold")
+
+
+def test_startup_covers_only_working_processes():
+    platform = homogeneous(12)
+    result = SpawnSwapStrategy(greedy_policy()).run(platform, app(2))
+    assert result.startup_time == pytest.approx(2 * 0.75)
+    over = SwapStrategy(greedy_policy()).run(platform, app(2))
+    assert over.startup_time == pytest.approx(12 * 0.75)
+
+
+def test_swap_pays_spawn_cost():
+    platform = homogeneous(4)
+    load_host(platform, 0, 3, from_t=5.0)
+    load_host(platform, 1, 3, from_t=5.0)
+    result = SpawnSwapStrategy(greedy_policy()).run(platform, app(2, iters=8))
+    assert result.swap_count >= 1
+    # Overhead includes at least one 0.75 s spawn beyond the transfers.
+    transfers = result.swap_count * platform.link.transfer_time(1 * MB)
+    assert result.overhead_time > transfers
+
+
+def test_matches_overallocation_results_apart_from_costs():
+    """Same platform, same policy: both variants make the same escape
+    decisions; only the cost accounting differs."""
+    def build():
+        platform = homogeneous(6, seed=2)
+        load_host(platform, 0, 3, from_t=5.0)
+        return platform
+
+    a = SwapStrategy(greedy_policy()).run(build(), app(2, iters=8))
+    b = SpawnSwapStrategy(greedy_policy()).run(build(), app(2, iters=8))
+    assert set(a.final_active) == set(b.final_active)
+
+
+def test_short_run_advantage():
+    """On a quiescent pool a 2-iteration app should not pay for spares."""
+    short = app(2, iters=2)
+    platform = homogeneous(16)
+    spawn = SpawnSwapStrategy(greedy_policy()).run(platform, short)
+    over = SwapStrategy(greedy_policy()).run(platform, short)
+    assert spawn.makespan < over.makespan
+    assert over.makespan - spawn.makespan == pytest.approx(14 * 0.75)
+
+
+def test_policy_gates_see_spawn_cost():
+    """The spawn cost enters the payback calculation: a strict payback
+    threshold refuses swaps that the transfer alone would allow."""
+    platform = homogeneous(3)
+    load_host(platform, 0, 1, from_t=5.0)  # modest 2x slowdown
+    tight = safe_policy().with_overrides(name="tight",
+                                         min_process_improvement=0.0,
+                                         payback_threshold=0.1,
+                                         history_window=0.0)
+    result = SpawnSwapStrategy(tight).run(platform,
+                                          app(1, iters=6, flops=2e8))
+    # Payback of (0.75 + transfer) / (~1 s/iteration saved) > 0.1.
+    assert result.swap_count == 0
+
+
+def test_name_reflects_policy():
+    assert SpawnSwapStrategy().name == "swap-spawn-greedy"
+    assert SpawnSwapStrategy(safe_policy()).name == "swap-spawn-safe"

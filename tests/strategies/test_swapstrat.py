@@ -1,0 +1,131 @@
+"""Tests for the SWAP strategy."""
+
+import pytest
+
+from repro.app.iterative import ApplicationSpec
+from repro.core.policy import greedy_policy, safe_policy
+from repro.load.base import ConstantLoadModel, LoadTrace
+from repro.platform.cluster import make_platform
+from repro.strategies.nothing import NothingStrategy
+from repro.strategies.swapstrat import SwapStrategy
+from repro.units import MB
+
+
+def app(n, iters=5, flops=4e8, state=1 * MB):
+    return ApplicationSpec(n_processes=n, iterations=iters,
+                           flops_per_iteration=flops, state_bytes=state)
+
+
+def homogeneous(n, seed=0):
+    return make_platform(n, ConstantLoadModel(0), seed=seed,
+                         speed_range=(100e6, 100e6 + 1e-6))
+
+
+def load_host(platform, index, n_competing, from_t=0.0):
+    """Overwrite one host's trace with a permanent load step."""
+    if from_t == 0.0:
+        trace = LoadTrace([0.0, 1e12], [n_competing], beyond_horizon="hold")
+    else:
+        trace = LoadTrace([0.0, from_t, 1e12], [0, n_competing],
+                          beyond_horizon="hold")
+    platform.hosts[index].trace = trace
+
+
+def test_overallocation_startup_cost():
+    platform = homogeneous(8)
+    result = SwapStrategy(greedy_policy()).run(platform, app(2))
+    assert result.startup_time == pytest.approx(8 * 0.75)
+
+
+def test_no_swaps_in_quiescent_environment():
+    platform = homogeneous(8)
+    result = SwapStrategy(greedy_policy()).run(platform, app(2))
+    assert result.swap_count == 0
+    assert result.overhead_time == 0.0
+
+
+def test_escapes_persistently_loaded_host():
+    from repro.strategies.scheduler import initial_schedule
+
+    platform = homogeneous(4)
+    active = initial_schedule(platform, 2)
+    victim = active[0]
+    load_host(platform, victim, n_competing=3, from_t=5.0)
+    result = SwapStrategy(greedy_policy()).run(platform, app(2, iters=6))
+    assert result.swap_count >= 1
+    assert victim not in result.final_active
+    # The first iteration ran on the original schedule.
+    assert set(result.records[0].active) == set(active)
+
+
+def test_swap_beats_nothing_under_persistent_load():
+    platform_a = homogeneous(4)
+    platform_b = homogeneous(4)
+    for p in (platform_a, platform_b):
+        load_host(p, 0, n_competing=3, from_t=5.0)
+        load_host(p, 1, n_competing=3, from_t=5.0)
+    a = app(2, iters=10)
+    swap = SwapStrategy(greedy_policy()).run(platform_a, a)
+    nothing = NothingStrategy().run(platform_b, a)
+    assert swap.makespan < nothing.makespan
+
+
+def test_swap_overhead_accounted():
+    platform = homogeneous(4)
+    load_host(platform, 0, n_competing=3, from_t=5.0)
+    result = SwapStrategy(greedy_policy()).run(platform, app(2, iters=6))
+    expected_min = platform.link.transfer_time(1 * MB) * result.swap_count
+    assert result.overhead_time >= expected_min * 0.99
+    assert result.overhead_time == pytest.approx(
+        sum(r.overhead_after for r in result.records))
+
+
+def test_chunks_not_redistributed_after_swap():
+    """Active set changes, but every process still computes an equal
+    chunk (the paper forbids data redistribution)."""
+    platform = homogeneous(4)
+    load_host(platform, 0, n_competing=3, from_t=5.0)
+    a = app(2, iters=6)
+    result = SwapStrategy(greedy_policy()).run(platform, a)
+    # After the swap, iteration time returns to the unloaded value.
+    last = result.records[-1]
+    assert last.compute_time == pytest.approx(a.chunk_flops / 100e6, rel=1e-2)
+
+
+def test_safe_policy_refuses_marginal_swaps():
+    """A 10% faster spare tempts greedy but not safe (20% threshold)."""
+    from repro.platform.cluster import Platform
+    from repro.platform.host import Host, HostSpec
+    from repro.simkernel.rng import RngRegistry
+
+    def build():
+        reg = RngRegistry(0)
+        hosts = [
+            Host(HostSpec("slow", 100e6, ConstantLoadModel(0)),
+                 reg.stream(0)),
+            Host(HostSpec("fast", 110e6, ConstantLoadModel(0)),
+                 reg.stream(1)),
+        ]
+        # The fast host looks busy at startup (so the scheduler picks the
+        # slow one) and frees up at t=5.
+        hosts[1].trace = LoadTrace([0.0, 5.0, 1e12], [1, 0],
+                                   beyond_horizon="hold")
+        return Platform(hosts=hosts)
+
+    a = app(1, iters=6)
+    g = SwapStrategy(greedy_policy()).run(build(), a)
+    s = SwapStrategy(safe_policy()).run(build(), a)
+    assert g.swap_count >= 1
+    assert s.swap_count == 0
+
+
+def test_no_swap_on_last_iteration():
+    platform = homogeneous(4)
+    load_host(platform, 0, n_competing=3, from_t=0.5)
+    result = SwapStrategy(greedy_policy()).run(platform, app(2, iters=1))
+    assert result.swap_count == 0
+
+
+def test_strategy_name_includes_policy():
+    assert SwapStrategy(greedy_policy()).name == "swap-greedy"
+    assert SwapStrategy(safe_policy()).name == "swap-safe"

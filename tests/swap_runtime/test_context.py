@@ -1,0 +1,148 @@
+"""Unit-level tests of SwapContext behaviour inside a live runtime."""
+
+import pytest
+
+from repro.core.policy import greedy_policy, safe_policy
+from repro.errors import SwapError
+from repro.load.base import ConstantLoadModel
+from repro.platform.cluster import make_platform
+from repro.swap.context import SwapContext
+from repro.swap.runtime import SwapRuntime
+from repro.units import MB
+
+
+def homogeneous(n, seed=0):
+    return make_platform(n, ConstantLoadModel(0), seed=seed,
+                         speed_range=(100e6, 100e6 + 1e-6))
+
+
+def launch(platform, n_active, user_main, policy=None):
+    runtime = SwapRuntime(platform, n_active=n_active,
+                          policy=policy or greedy_policy(), chunk_flops=1e9)
+    job = runtime.launch(user_main)
+    return runtime, job.run_to_completion()
+
+
+def test_register_after_first_swap_rejected():
+    failures = []
+
+    def main(rank, ctx: SwapContext):
+        ctx.register("a", 1.0)
+        iteration, state = yield from ctx.mpi_swap(0, None)
+        if iteration is None:
+            return None
+        try:
+            ctx.register("late", 1.0)
+        except SwapError:
+            failures.append(rank.world_rank)
+        yield from ctx.finish()
+        return state
+
+    runtime, _results = launch(homogeneous(3), 2, main)
+    assert sorted(failures) == sorted(runtime.initial_active)
+
+
+def test_duplicate_registration_rejected():
+    def main(rank, ctx: SwapContext):
+        ctx.register("a", 1.0)
+        with pytest.raises(SwapError):
+            ctx.register("a", 2.0)
+        iteration, state = yield from ctx.mpi_swap(0, None)
+        if iteration is None:
+            return None
+        yield from ctx.finish()
+        return state
+
+    launch(homogeneous(3), 2, main)
+
+
+def test_exchange_passes_ring_payloads():
+    received = {}
+
+    def main(rank, ctx: SwapContext):
+        ctx.register("a", 1.0)
+        iteration, state = yield from ctx.mpi_swap(0, None)
+        if iteration is None:
+            return None
+        payload = yield from ctx.exchange(8.0, payload=rank.world_rank)
+        received[rank.world_rank] = payload
+        yield from ctx.finish()
+        return state
+
+    runtime, _ = launch(homogeneous(4), 3, main)
+    ring = list(runtime.initial_active)
+    for i, member in enumerate(ring):
+        predecessor = ring[(i - 1) % len(ring)]
+        assert received[member] == predecessor
+
+
+def test_spare_cannot_exchange_or_finish():
+    violations = []
+
+    def main(rank, ctx: SwapContext):
+        if ctx.role == "spare":
+            with pytest.raises(SwapError):
+                # exchange is a generator; the check fires on first resume
+                gen = ctx.exchange(1.0)
+                yield from gen
+            try:
+                yield from ctx.finish()
+            except SwapError:
+                violations.append(rank.world_rank)
+        iteration, state = yield from ctx.mpi_swap(0, None)
+        if iteration is None:
+            return None
+        yield from ctx.finish()
+        return state
+
+    runtime, _ = launch(homogeneous(3), 2, main)
+    spares = [r for r in range(3) if r not in runtime.initial_active]
+    assert violations == spares
+
+
+def test_single_active_exchange_is_noop():
+    def main(rank, ctx: SwapContext):
+        ctx.register("a", 1.0)
+        iteration, state = yield from ctx.mpi_swap(0, None)
+        if iteration is None:
+            return None
+        echoed = yield from ctx.exchange(8.0, payload="mine")
+        yield from ctx.finish()
+        return echoed
+
+    runtime, results = launch(homogeneous(2), 1, main)
+    active = runtime.initial_active[0]
+    assert results[active] == "mine"
+
+
+def test_context_counters_track_roles():
+    from repro.load.base import LoadTrace
+
+    platform = homogeneous(3)
+    victim = None
+
+    def main(rank, ctx: SwapContext):
+        ctx.register("a", 1 * MB)
+        iteration, state = 0, None
+        while True:
+            iteration, state = yield from ctx.mpi_swap(iteration, state)
+            if iteration is None:
+                return None
+            if iteration >= 4:
+                yield from ctx.finish()
+                return state
+            yield from rank.compute(1e9)
+            iteration += 1
+
+    runtime = SwapRuntime(platform, n_active=1, policy=greedy_policy(),
+                          chunk_flops=1e9)
+    victim = runtime.initial_active[0]
+    platform.hosts[victim].trace = LoadTrace([0.0, 5.0, 1e12], [0, 4],
+                                             beyond_horizon="hold")
+    job = runtime.launch(main)
+    job.run_to_completion()
+    out_ctx = runtime.contexts[victim]
+    assert out_ctx.swaps_out >= 1
+    new_active = runtime.contexts[
+        [r for r in range(3) if runtime.contexts[r].role == "active"][0]]
+    assert new_active.swaps_in >= 1

@@ -1,0 +1,95 @@
+"""Edge cases of the swap runtime: degenerate pools and workloads."""
+
+import pytest
+
+from repro.core.policy import greedy_policy
+from repro.load.base import ConstantLoadModel, LoadTrace
+from repro.platform.cluster import make_platform
+from repro.swap.runtime import SwapRuntime
+from repro.units import MB
+
+
+def homogeneous(n, seed=0):
+    return make_platform(n, ConstantLoadModel(0), seed=seed,
+                         speed_range=(100e6, 100e6 + 1e-6))
+
+
+def test_no_spares_pool():
+    """n_active == pool size: over-allocation of zero, swapping inert."""
+    runtime = SwapRuntime(homogeneous(3), n_active=3,
+                          policy=greedy_policy(), chunk_flops=1e9)
+    result = runtime.run_iterative(iterations=4, state_bytes=1 * MB)
+    assert result.swap_count == 0
+    assert set(result.manager.final_active) == {0, 1, 2}
+    assert all(r is not None or True for r in result.rank_results)
+
+
+def test_single_host_single_process():
+    runtime = SwapRuntime(homogeneous(1), n_active=1,
+                          policy=greedy_policy(), chunk_flops=1e9)
+    result = runtime.run_iterative(iterations=3, state_bytes=1 * MB)
+    assert result.swap_count == 0
+    # startup: 1 app process + 1 manager rank
+    assert result.startup_time == pytest.approx(2 * 0.75)
+    assert result.makespan >= result.startup_time + 3 * 10.0
+
+
+def test_single_iteration():
+    runtime = SwapRuntime(homogeneous(4), n_active=2,
+                          policy=greedy_policy(), chunk_flops=1e9)
+    result = runtime.run_iterative(iterations=1, state_bytes=1 * MB)
+    assert result.manager.decisions <= 1
+    assert result.makespan > result.startup_time
+
+
+def test_zero_state_swap_is_nearly_free():
+    platform = homogeneous(4)
+    victim_rt = SwapRuntime(platform, n_active=1, policy=greedy_policy(),
+                            chunk_flops=1e9)
+    victim = victim_rt.initial_active[0]
+    platform.hosts[victim].trace = LoadTrace([0.0, 5.0, 1e12], [0, 4],
+                                             beyond_horizon="hold")
+    result = victim_rt.run_iterative(iterations=5, state_bytes=0.0)
+    assert result.swap_count >= 1
+
+
+def test_huge_state_discourages_or_survives_swaps():
+    """A 1 GB image on the 6 MB/s link: the run must still terminate and
+    account every transfer."""
+    platform = homogeneous(3)
+    runtime = SwapRuntime(platform, n_active=1, policy=greedy_policy(),
+                          chunk_flops=1e9)
+    victim = runtime.initial_active[0]
+    platform.hosts[victim].trace = LoadTrace([0.0, 5.0, 1e12], [0, 4],
+                                             beyond_horizon="hold")
+    result = runtime.run_iterative(iterations=3, state_bytes=1000 * MB)
+    assert result.makespan > 0
+    if result.swap_count:
+        # Each transfer takes ~167 s on the wire; the makespan must show it.
+        assert result.makespan > result.startup_time + 167.0
+
+
+def test_all_actives_swapped_in_one_epoch():
+    """Every active host degrades at once; the whole set migrates."""
+    platform = homogeneous(6)
+    runtime = SwapRuntime(platform, n_active=2, policy=greedy_policy(),
+                          chunk_flops=1e9)
+    originals = list(runtime.initial_active)
+    for victim in originals:
+        platform.hosts[victim].trace = LoadTrace([0.0, 5.0, 1e12], [0, 9],
+                                                 beyond_horizon="hold")
+    result = runtime.run_iterative(iterations=5, state_bytes=1 * MB)
+    assert set(result.manager.final_active).isdisjoint(originals)
+    # Both replacements can land in the same decision epoch.
+    iterations_with_swaps = {e.iteration for e in result.manager.swaps}
+    assert len(iterations_with_swaps) <= result.manager.decisions
+
+
+def test_probe_interval_affects_reaction_lag():
+    """With a very long probe interval the manager's picture of spares is
+    stale, but the protocol still terminates correctly."""
+    platform = homogeneous(4)
+    runtime = SwapRuntime(platform, n_active=2, policy=greedy_policy(),
+                          chunk_flops=1e9, probe_interval=1e6)
+    result = runtime.run_iterative(iterations=3, state_bytes=1 * MB)
+    assert result.makespan > 0

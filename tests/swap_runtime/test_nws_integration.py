@@ -1,0 +1,50 @@
+"""Tests for the NWS bank plugged into the swap manager."""
+
+import pytest
+
+from repro.core.policy import greedy_policy
+from repro.load.base import ConstantLoadModel, LoadTrace
+from repro.platform.cluster import make_platform
+from repro.swap.runtime import SwapRuntime
+from repro.units import MB
+
+
+def homogeneous(n, seed=0):
+    return make_platform(n, ConstantLoadModel(0), seed=seed,
+                         speed_range=(100e6, 100e6 + 1e-6))
+
+
+def test_bank_backed_manager_runs_clean():
+    runtime = SwapRuntime(homogeneous(5), n_active=2,
+                          policy=greedy_policy(), chunk_flops=1e9,
+                          use_nws_bank=True)
+    result = runtime.run_iterative(iterations=5, state_bytes=1 * MB)
+    assert result.swap_count == 0
+    assert result.makespan > result.startup_time
+
+
+def test_bank_backed_manager_still_escapes_load():
+    platform = homogeneous(5)
+    runtime = SwapRuntime(platform, n_active=2, policy=greedy_policy(),
+                          chunk_flops=1e9, use_nws_bank=True)
+    victim = runtime.initial_active[0]
+    platform.hosts[victim].trace = LoadTrace([0.0, 10.0, 1e12], [0, 3],
+                                             beyond_horizon="hold")
+    result = runtime.run_iterative(iterations=6, state_bytes=1 * MB)
+    assert result.swap_count >= 1
+    assert victim not in result.manager.final_active
+
+
+def test_bank_and_window_agree_on_easy_scenario():
+    def run(use_bank):
+        platform = homogeneous(5, seed=3)
+        runtime = SwapRuntime(platform, n_active=2, policy=greedy_policy(),
+                              chunk_flops=1e9, use_nws_bank=use_bank)
+        victim = runtime.initial_active[0]
+        platform.hosts[victim].trace = LoadTrace(
+            [0.0, 10.0, 1e12], [0, 3], beyond_horizon="hold")
+        return runtime.run_iterative(iterations=6, state_bytes=1 * MB)
+
+    window = run(False)
+    bank = run(True)
+    assert bank.makespan == pytest.approx(window.makespan, rel=0.05)

@@ -1,0 +1,98 @@
+"""Error paths of the swap protocol: corrupted or misrouted messages."""
+
+import pytest
+
+from repro.core.policy import greedy_policy
+from repro.errors import SwapError
+from repro.load.base import ConstantLoadModel
+from repro.platform.cluster import make_platform
+from repro.swap import protocol
+from repro.swap.context import SwapContext
+from repro.swap.runtime import SwapRuntime
+
+
+def homogeneous(n):
+    return make_platform(n, ConstantLoadModel(0), seed=0,
+                         speed_range=(100e6, 100e6 + 1e-6))
+
+
+def test_active_process_rejects_foreign_verdict():
+    """An active process receiving a SwapIn (a spare's command) fails
+    loudly instead of deadlocking."""
+    runtime = SwapRuntime(homogeneous(2), n_active=1,
+                          policy=greedy_policy(), chunk_flops=1e9)
+    captured = {}
+
+    def main(rank, ctx: SwapContext):
+        if ctx.role == "active":
+            # Inject a bogus command ahead of the manager's verdict.
+            ctx.from_handler.put(protocol.SwapIn(iteration=0, partner=1,
+                                                 active=(1,)))
+            try:
+                yield from ctx.mpi_swap(0, None)
+            except SwapError as exc:
+                captured["error"] = str(exc)
+                yield from ctx.finish()
+                return None
+        iteration, state = yield from ctx.mpi_swap(0, None)
+        del iteration, state
+        return None
+
+    job = runtime.launch(main)
+    # The run cannot fully complete (the protocol was sabotaged); drive
+    # the sim only until the active process observed the failure.
+    sim = runtime.sim
+    for _ in range(100_000):
+        if "error" in captured or sim.peek() == float("inf"):
+            break
+        sim.step()
+    assert "unexpected" in captured["error"]
+
+
+def test_spare_process_rejects_proceed():
+    runtime = SwapRuntime(homogeneous(2), n_active=1,
+                          policy=greedy_policy(), chunk_flops=1e9)
+    captured = {}
+
+    def main(rank, ctx: SwapContext):
+        if ctx.role == "spare":
+            ctx.from_handler.put(protocol.Proceed(iteration=0, active=(0,)))
+            try:
+                yield from ctx.mpi_swap(0, None)
+            except SwapError as exc:
+                captured["error"] = str(exc)
+                return None
+        iteration, state = yield from ctx.mpi_swap(0, None)
+        if iteration is not None:
+            yield from ctx.finish()
+        return state
+
+    job = runtime.launch(main)
+    sim = runtime.sim
+    for _ in range(100_000):
+        if "error" in captured or sim.peek() == float("inf"):
+            break
+        sim.step()
+    assert "unexpected" in captured["error"]
+
+
+def test_manager_rejects_unknown_payload():
+    """Unknown control traffic crashes the manager deterministically."""
+    runtime = SwapRuntime(homogeneous(2), n_active=1,
+                          policy=greedy_policy(), chunk_flops=1e9)
+
+    def main(rank, ctx: SwapContext):
+        if ctx.role == "active":
+            manager_local = runtime.control_comm.rank_of(runtime.manager_rank)
+            yield from rank.send(manager_local, nbytes=64.0,
+                                 payload={"kind": "garbage"},
+                                 comm=runtime.control_comm)
+        iteration, state = yield from ctx.mpi_swap(0, None)
+        if iteration is not None:
+            yield from ctx.finish()
+        return state
+
+    job = runtime.launch(main)
+    with pytest.raises(SwapError, match="unexpected message"):
+        runtime.sim.run()
+    del job

@@ -1,0 +1,69 @@
+"""Property-based protocol correctness of the DES swap runtime.
+
+Over randomly drawn small configurations the protocol must always
+terminate, conserve work (exactly N logical processes complete exactly
+the requested number of iterations, wherever their state travelled),
+and leave a consistent final active set.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import friendly_policy, greedy_policy, safe_policy
+from repro.load.onoff import OnOffLoadModel
+from repro.platform.cluster import make_platform
+from repro.swap.runtime import SwapRuntime
+from repro.units import MB
+
+configs = st.tuples(
+    st.floats(min_value=0.0, max_value=0.6),   # p
+    st.floats(min_value=0.05, max_value=0.6),  # q
+    st.integers(min_value=2, max_value=5),     # hosts
+    st.integers(min_value=1, max_value=3),     # actives
+    st.integers(min_value=1, max_value=4),     # iterations
+    st.integers(min_value=0, max_value=49),    # seed
+    st.sampled_from(["greedy", "safe", "friendly"]),
+)
+
+POLICIES = {"greedy": greedy_policy, "safe": safe_policy,
+            "friendly": friendly_policy}
+
+
+@given(configs)
+@settings(max_examples=40, deadline=None)
+def test_protocol_terminates_and_conserves_work(config):
+    p, q, n_hosts, n_active, iterations, seed, policy_name = config
+    n_active = min(n_active, n_hosts)
+    platform = make_platform(n_hosts, OnOffLoadModel(p=p, q=q, step=5.0),
+                             seed=seed, speed_range=(100e6, 300e6))
+    runtime = SwapRuntime(platform, n_active=n_active,
+                          policy=POLICIES[policy_name](),
+                          chunk_flops=5e8)
+
+    def body(rank, iteration, state):
+        state = dict(state)
+        state["count"] += 1
+        state["trail"].append(rank)
+        return state
+
+    result = runtime.run_iterative(
+        iterations=iterations, exchange_bytes=1e3, state_bytes=1 * MB,
+        body=body, initial_state=lambda r: {"count": 0, "trail": []})
+
+    # Exactly N logical processes completed, each with exactly the
+    # requested number of iterations -- regardless of how many swaps
+    # moved their state around.
+    finals = [r for r in result.rank_results if r is not None]
+    assert len(finals) == n_active
+    assert all(s["count"] == iterations for s in finals)
+    # Work happened on at least as many hosts as the trails claim.
+    for state in finals:
+        assert len(state["trail"]) == iterations
+        assert set(state["trail"]) <= set(range(n_hosts))
+
+    # The manager's final active set is consistent.
+    assert len(result.manager.final_active) == n_active
+    assert len(set(result.manager.final_active)) == n_active
+
+    # Makespan covers at least startup plus one unloaded iteration.
+    assert result.makespan >= result.startup_time

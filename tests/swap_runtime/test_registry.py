@@ -1,0 +1,45 @@
+"""Tests for the swap_register() state registry."""
+
+import pytest
+
+from repro.errors import SwapError
+from repro.swap.registry import StateRegistry
+
+
+def test_register_and_total():
+    registry = StateRegistry()
+    registry.register("grid", 1e6)
+    registry.register("halo", 2e5)
+    assert registry.total_bytes == pytest.approx(1.2e6)
+    assert set(registry.names) == {"grid", "halo"}
+    assert "grid" in registry and len(registry) == 2
+
+
+def test_duplicate_name_rejected():
+    registry = StateRegistry()
+    registry.register("grid", 1.0)
+    with pytest.raises(SwapError):
+        registry.register("grid", 2.0)
+
+
+def test_invalid_blocks_rejected():
+    registry = StateRegistry()
+    with pytest.raises(SwapError):
+        registry.register("", 1.0)
+    with pytest.raises(SwapError):
+        registry.register("x", -1.0)
+
+
+def test_unregister():
+    registry = StateRegistry()
+    registry.register("tmp", 5.0)
+    registry.unregister("tmp")
+    assert registry.total_bytes == 0.0
+    with pytest.raises(SwapError):
+        registry.unregister("tmp")
+
+
+def test_zero_size_block_allowed():
+    registry = StateRegistry()
+    registry.register("marker", 0.0)
+    assert registry.total_bytes == 0.0

@@ -1,0 +1,20 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.simkernel.engine
+import repro.simkernel.rng
+
+
+@pytest.mark.parametrize("module", [
+    repro.simkernel.engine,
+    repro.simkernel.rng,
+    repro,
+], ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert result.failed == 0

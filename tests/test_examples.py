@@ -1,0 +1,65 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, check=False)
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert names >= {"quickstart.py", "retrofit_smoother.py",
+                     "policy_shootout.py", "load_model_explorer.py",
+                     "desktop_grid.py"}
+
+
+def test_quickstart_runs():
+    proc = run_example("quickstart.py", "3")
+    assert proc.returncode == 0, proc.stderr
+    assert "vs NOTHING" in proc.stdout
+    assert "swap-greedy" in proc.stdout
+    assert "host occupancy" in proc.stdout
+
+
+def test_retrofit_smoother_runs_and_verifies_numerics():
+    proc = run_example("retrofit_smoother.py", "1")
+    assert proc.returncode == 0, proc.stderr
+    assert "numerical result identical across both runs: True" in proc.stdout
+    assert "speedup" in proc.stdout
+
+
+def test_policy_shootout_runs():
+    proc = run_example("policy_shootout.py", "1")
+    assert proc.returncode == 0, proc.stderr
+    assert "recommended policy per regime" in proc.stdout
+    assert "greedy" in proc.stdout and "safe" in proc.stdout
+
+
+def test_load_model_explorer_runs():
+    proc = run_example("load_model_explorer.py", "2")
+    assert proc.returncode == 0, proc.stderr
+    assert "hyperexponential" in proc.stdout
+    assert "30s compute chunk" in proc.stdout
+
+
+def test_desktop_grid_runs():
+    proc = run_example("desktop_grid.py", "1", "0.3")
+    assert proc.returncode == 0, proc.stderr
+    assert "owner-occupied" in proc.stdout
+    assert "migrations" in proc.stdout
+
+
+@pytest.mark.parametrize("name", ["quickstart.py", "desktop_grid.py"])
+def test_examples_deterministic(name):
+    first = run_example(name, "7")
+    second = run_example(name, "7")
+    assert first.stdout == second.stdout

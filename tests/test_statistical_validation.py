@@ -1,0 +1,90 @@
+"""Statistical validation of the simulator against closed forms.
+
+The qualitative figure shapes are checked elsewhere; these tests verify
+the simulator's *quantitative* core against analytic expectations, so
+that the strategy comparisons rest on a calibrated substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.app.iterative import ApplicationSpec
+from repro.load.base import ConstantLoadModel
+from repro.load.onoff import OnOffLoadModel
+from repro.platform.cluster import make_platform
+from repro.strategies.nothing import NothingStrategy
+
+
+def test_nothing_makespan_closed_form_under_constant_load():
+    """With constant load everywhere the makespan is exactly
+    startup + I * (chunk / (speed / (1+n)) + comm)."""
+    platform = make_platform(4, ConstantLoadModel(2), seed=0,
+                             speed_range=(200e6, 200e6))
+    app = ApplicationSpec(n_processes=4, iterations=7,
+                          flops_per_iteration=4 * 2e9,
+                          bytes_per_process=3e6)
+    result = NothingStrategy().run(platform, app)
+    compute = 2e9 / (200e6 / 3.0)
+    comm = platform.link.exchange_phase_time(3e6, 4)
+    assert result.makespan == pytest.approx(3.0 + 7 * (compute + comm))
+
+
+def test_mean_iteration_time_matches_renewal_reward():
+    """Long-run mean compute time of a chunk on an ON/OFF host converges
+    to chunk / (speed * E[availability]) only when chunks are long
+    relative to dwells; for long chunks the time-average availability
+    p_off * 1 + p_on * 0.5 governs."""
+    p = q = 0.2  # fast flipping (dwell 50 s) relative to the chunk below
+    expected_availability = 0.5 * 1.0 + 0.5 * 0.5
+    speed = 100e6
+    chunk = 1e10  # 100 s of dedicated compute >> dwell
+    durations = []
+    for seed in range(12):
+        platform = make_platform(1, OnOffLoadModel(p=p, q=q), seed=seed,
+                                 speed_range=(speed, speed))
+        host = platform.host(0)
+        t = 0.0
+        for _ in range(10):
+            end = host.compute_finish(t, chunk)
+            durations.append(end - t)
+            t = end
+    analytic = chunk / (speed * expected_availability)
+    assert np.mean(durations) == pytest.approx(analytic, rel=0.03)
+
+
+def test_short_chunks_see_bimodal_times():
+    """Chunks much shorter than dwells run at either full or half speed,
+    almost never in between -- the regime where swapping decisions are
+    meaningful."""
+    platform = make_platform(1, OnOffLoadModel(p=0.01, q=0.01), seed=5,
+                             speed_range=(100e6, 100e6))
+    host = platform.host(0)
+    chunk = 1e8  # 1 s of dedicated compute << 1000 s dwells
+    durations = []
+    t = 0.0
+    for _ in range(2000):
+        end = host.compute_finish(t, chunk)
+        durations.append(end - t)
+        t = end
+    durations = np.array(durations)
+    near_fast = np.mean(np.abs(durations - 1.0) < 0.05)
+    near_slow = np.mean(np.abs(durations - 2.0) < 0.05)
+    assert near_fast + near_slow > 0.95
+    assert near_fast > 0.2 and near_slow > 0.2
+
+
+def test_startup_scaling_matches_paper_quote():
+    """'An over-allocation of 30 processors adds approximately 20 seconds
+    to the application startup time.'"""
+    platform = make_platform(34, ConstantLoadModel(0), seed=0)
+    base = platform.startup_time(4)
+    overallocated = platform.startup_time(34)
+    assert overallocated - base == pytest.approx(22.5)  # 30 x 0.75 s
+
+
+def test_swap_time_paper_scale():
+    """Sanity of the 6 MB/s link against the paper's Fig. 8 remark that a
+    1 GB image takes about twice a ~83 s iteration."""
+    platform = make_platform(2, ConstantLoadModel(0), seed=0)
+    one_gb = platform.link.transfer_time(1e9)
+    assert one_gb == pytest.approx(166.7, rel=0.01)

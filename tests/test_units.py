@@ -1,0 +1,34 @@
+"""Tests for unit constants and formatting helpers."""
+
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    MINUTE,
+    format_bytes,
+    format_duration,
+)
+
+
+def test_byte_constants_decimal():
+    assert KB == 1_000
+    assert MB == 1_000_000
+    assert GB == 1_000_000_000
+
+
+def test_format_bytes():
+    assert format_bytes(512) == "512 B"
+    assert format_bytes(2_500) == "2.5 KB"
+    assert format_bytes(250_000_000) == "250.0 MB"
+    assert format_bytes(3 * GB) == "3.0 GB"
+
+
+def test_format_duration_ranges():
+    assert format_duration(12.345) == "12.35s"
+    assert format_duration(90.0) == "1m30.0s"
+    assert format_duration(3700.0) == "1h01m40s"
+    assert format_duration(-90.0) == "-1m30.0s"
+
+
+def test_minute_constant():
+    assert 5 * MINUTE == 300.0
