@@ -1,0 +1,132 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Examples
+--------
+
+::
+
+    python -m repro.analysis src/                 # lint a tree
+    python -m repro.analysis src/ --format json   # machine-readable
+    python -m repro.analysis --list-rules         # the rule catalogue
+    python -m repro.analysis --sanitize --seed 3  # sanitized demo run
+    python -m repro.analysis --self-check         # CI gate: lint the
+                                                  # installed package and
+                                                  # sanitize the demo
+
+Exit status: 0 clean, 1 findings (or sanitizer errors), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.analysis.linter import (findings_to_dict, format_json, format_text,
+                                   lint_paths)
+from repro.analysis.rules import all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism linter (simlint) and simulation sanitizer "
+                    "for the repro DES kernel.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every lint rule and exit")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run the built-in demo scenario under the "
+                             "simulation sanitizer and print its report")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed for --sanitize (default: 0)")
+    parser.add_argument("--strict", action="store_true",
+                        help="with --sanitize: raise at the first "
+                             "error-severity finding")
+    parser.add_argument("--self-check", action="store_true",
+                        help="lint the installed repro package and sanitize "
+                             "the demo scenario; nonzero on any finding "
+                             "(the CI gate)")
+    return parser
+
+
+def _print_lint(findings, files_scanned, fmt: str) -> None:
+    if fmt == "json":
+        print(format_json(findings, files_scanned))
+    else:
+        print(format_text(findings, files_scanned))
+
+
+def _run_sanitize(seed: int, strict: bool, fmt: str) -> int:
+    from repro.analysis.demo import run_demo
+
+    outcome = run_demo(seed, strict=strict)
+    report = outcome.report
+    if fmt == "json":
+        payload = report.to_dict()
+        payload["makespan"] = outcome.makespan
+        payload["swap_count"] = outcome.result.swap_count
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.format())
+        print(f"demo scenario: makespan={outcome.makespan:.1f}s, "
+              f"swaps={outcome.result.swap_count}, seed={seed}")
+    return 1 if report.error_count else 0
+
+
+def _self_check(fmt: str) -> int:
+    import repro
+
+    package_dir = Path(repro.__file__).resolve().parent
+    findings, files_scanned = lint_paths([package_dir])
+    # Report paths relative to the package root so output is stable
+    # across checkouts.
+    rel = [f.__class__(code=f.code, message=f.message,
+                       path=str(Path(f.path).relative_to(package_dir.parent)),
+                       line=f.line, column=f.column) for f in findings]
+
+    from repro.analysis.demo import run_demo
+
+    outcome = run_demo(0)
+    report = outcome.report
+    if fmt == "json":
+        payload = findings_to_dict(rel, files_scanned)
+        payload["sanitizer"] = report.to_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        _print_lint(rel, files_scanned, fmt)
+        print(f"sanitizer demo: {report.error_count} errors, "
+              f"{report.warning_count} warnings over "
+              f"{report.events_processed} events")
+    return 1 if (rel or report.error_count) else 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code} {rule.name}: {rule.summary}")
+        return 0
+
+    if args.self_check:
+        return _self_check(args.format)
+
+    if args.sanitize:
+        return _run_sanitize(args.seed, args.strict, args.format)
+
+    if not args.paths:
+        parser.print_usage()
+        return 2
+
+    try:
+        findings, files_scanned = lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}")
+        return 2
+    _print_lint(findings, files_scanned, args.format)
+    return 1 if findings else 0

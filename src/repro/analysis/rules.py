@@ -1,0 +1,433 @@
+"""The built-in ``simlint`` rule set and its registry.
+
+Every rule targets a *real* reproducibility hazard of this codebase: the
+paper's methodology only holds if back-to-back strategy comparisons see
+identical stochastic environments (see the docstring of
+:mod:`repro.simkernel.rng`), which in turn requires that no code path
+draws entropy outside the :class:`~repro.simkernel.rng.RngRegistry`, that
+the event heap's ``(time, priority, sequence)`` ordering stays
+encapsulated in :mod:`repro.simkernel.engine`, and that simulated time is
+never compared with ``==``.
+
+A rule is a subclass of :class:`Rule` registered with :func:`register`.
+Rules declare the AST node types they want to inspect; the linter in
+:mod:`repro.analysis.linter` performs a single walk per module and
+dispatches nodes to interested rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic, pinned to a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "message": self.message, "path": self.path,
+                "line": self.line, "column": self.column}
+
+
+class LintContext:
+    """Per-module facts shared by all rules: path, imports, resolution."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        #: ``import numpy as np`` -> {"np": "numpy"}
+        self.module_imports: "dict[str, str]" = {}
+        #: ``from time import time as t`` -> {"t": "time.time"}
+        self.from_imports: "dict[str, str]" = {}
+        self._collect_imports(tree)
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0])
+                    if alias.asname:
+                        self.module_imports[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}")
+
+    # -- facts ----------------------------------------------------------
+
+    @property
+    def is_engine_module(self) -> bool:
+        """Whether this file is the one place allowed to touch the heap."""
+        return self.path.endswith("simkernel/engine.py")
+
+    @property
+    def is_units_module(self) -> bool:
+        return self.path.endswith("repro/units.py")
+
+    @property
+    def imports_simkernel(self) -> bool:
+        """Whether the module imports any simulation-kernel layer."""
+        modules = list(self.module_imports.values()) + list(
+            self.from_imports.values())
+        return any(m.startswith(("repro.simkernel", "repro.smpi", "repro.swap"))
+                   for m in modules)
+
+    # -- name resolution ------------------------------------------------
+
+    def qualified_name(self, node: ast.AST) -> "str | None":
+        """Resolve an attribute/name expression to a dotted module path.
+
+        ``np.random.default_rng`` with ``import numpy as np`` resolves to
+        ``"numpy.random.default_rng"``; ``time()`` after ``from time
+        import time`` resolves to ``"time.time"``.  Returns ``None`` for
+        anything that is not a plain dotted name.
+        """
+        parts: "list[str]" = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = node.id
+        if head in self.module_imports:
+            head = self.module_imports[head]
+        elif head in self.from_imports:
+            head = self.from_imports[head]
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+
+class Rule:
+    """Base class: one diagnostic code, one hazard."""
+
+    code: str = "SL000"
+    name: str = "abstract-rule"
+    summary: str = ""
+    #: AST node classes this rule wants to see (dispatch filter).
+    node_types: "tuple[type, ...]" = ()
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        """Yield findings for one node of an interesting type."""
+        return ()
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        return Finding(code=self.code, message=message, path=ctx.path,
+                       line=getattr(node, "lineno", 1),
+                       column=getattr(node, "col_offset", 0) + 1)
+
+
+#: code -> rule instance, in registration order.
+REGISTRY: "dict[str, Rule]" = {}
+
+
+def register(cls: "type[Rule]") -> "type[Rule]":
+    """Class decorator: instantiate and index a rule by its code."""
+    rule = cls()
+    if rule.code in REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> "list[Rule]":
+    return list(REGISTRY.values())
+
+
+def _function_local_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ---------------------------------------------------------------------------
+# SL001 -- wall-clock / ambient-entropy calls
+# ---------------------------------------------------------------------------
+
+#: Calls that read the host clock or ambient entropy; any of these inside
+#: simulation code silently breaks run-to-run reproducibility.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "uuid.uuid1", "uuid.uuid4", "os.urandom", "os.getrandom",
+})
+
+#: Module prefixes whose *every* callable is an unregistered entropy source.
+_ENTROPY_PREFIXES = ("random.", "secrets.", "numpy.random.")
+
+#: numpy.random callables that are fine when given an explicit seed / spec.
+_SEEDABLE = frozenset({"numpy.random.default_rng", "numpy.random.SeedSequence",
+                       "numpy.random.Generator", "numpy.random.PCG64",
+                       "numpy.random.Philox", "numpy.random.SFC64"})
+
+
+@register
+class WallClockRule(Rule):
+    """Nondeterministic time / RNG source used outside the RngRegistry."""
+
+    code = "SL001"
+    name = "wall-clock-or-ambient-entropy"
+    summary = ("calls that read the host clock or draw entropy outside "
+               "RngRegistry (time.time, datetime.now, random.*, unseeded "
+               "numpy.random.default_rng, ...)")
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: LintContext) -> Iterable[Finding]:
+        qual = ctx.qualified_name(node.func)
+        if qual is None:
+            return
+        if qual in _WALL_CLOCK_CALLS:
+            yield self.finding(ctx, node, (
+                f"call to {qual}() is nondeterministic across runs; "
+                f"simulated time lives on Simulator.now and entropy on "
+                f"RngRegistry"))
+            return
+        if qual in _SEEDABLE:
+            if not node.args and not node.keywords:
+                yield self.finding(ctx, node, (
+                    f"{qual}() without a seed draws OS entropy; derive the "
+                    f"stream from RngRegistry instead"))
+            return
+        if qual.startswith(_ENTROPY_PREFIXES):
+            yield self.finding(ctx, node, (
+                f"call to {qual}() bypasses RngRegistry; competing "
+                f"strategies would no longer see identical environments"))
+
+
+# ---------------------------------------------------------------------------
+# SL002 -- simkernel coroutine discipline
+# ---------------------------------------------------------------------------
+
+@register
+class CoroutineDisciplineRule(Rule):
+    """Simulation coroutines must yield Events and never return from a
+    ``try`` whose ``finally`` re-yields."""
+
+    code = "SL002"
+    name = "sim-coroutine-discipline"
+    summary = ("sim coroutines yielding plain constants (never Events), or "
+               "returning inside a try whose finally yields again")
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if not ctx.imports_simkernel:
+            return
+        local = list(_function_local_nodes(node))
+        yields = [n for n in local if isinstance(n, (ast.Yield, ast.YieldFrom))]
+        if not yields:
+            return
+        for y in yields:
+            if isinstance(y, ast.Yield) and isinstance(y.value, ast.Constant):
+                yield self.finding(ctx, y, (
+                    f"yield of constant {y.value.value!r} in a simulation "
+                    f"coroutine; processes may only yield Events"))
+        for t in local:
+            if not isinstance(t, ast.Try) or not t.finalbody:
+                continue
+            finally_yields = any(
+                isinstance(n, (ast.Yield, ast.YieldFrom))
+                for stmt in t.finalbody for n in [stmt, *ast.walk(stmt)]
+                if not isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.Lambda)))
+            if not finally_yields:
+                continue
+            for stmt in t.body + [h for hd in t.handlers for h in hd.body]:
+                for n in [stmt, *ast.walk(stmt)]:
+                    if isinstance(n, ast.Return):
+                        yield self.finding(ctx, n, (
+                            "return inside try whose finally yields: the "
+                            "kernel cannot resume a returning coroutine, so "
+                            "the finally-yield deadlocks the process"))
+                        break
+
+
+# ---------------------------------------------------------------------------
+# SL003 -- event-heap encapsulation
+# ---------------------------------------------------------------------------
+
+@register
+class HeapEncapsulationRule(Rule):
+    """Only ``simkernel.engine`` may touch heapq / the event heap."""
+
+    code = "SL003"
+    name = "heap-encapsulation"
+    summary = ("direct heapq use or Simulator._heap access outside "
+               "simkernel.engine, which can break (time, priority, seq) "
+               "total ordering")
+    node_types = (ast.Attribute, ast.Call)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if ctx.is_engine_module:
+            return
+        if isinstance(node, ast.Attribute) and node.attr == "_heap":
+            yield self.finding(ctx, node, (
+                "direct access to the simulator's _heap; event ordering is "
+                "an engine invariant -- go through Simulator methods"))
+        elif isinstance(node, ast.Call):
+            qual = ctx.qualified_name(node.func)
+            if qual is not None and qual.startswith("heapq."):
+                yield self.finding(ctx, node, (
+                    f"{qual}() outside simkernel.engine; keep heap ordering "
+                    f"logic in the engine (or suppress with a justification "
+                    f"if this heap is unrelated to the event loop)"))
+
+
+# ---------------------------------------------------------------------------
+# SL004 -- floating-point simulated-time equality
+# ---------------------------------------------------------------------------
+
+def _is_sim_time_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr in ("now", "_now"):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "peek":
+            return True
+    return False
+
+
+@register
+class FloatTimeEqualityRule(Rule):
+    """``==`` / ``!=`` on simulated time is a float-comparison trap."""
+
+    code = "SL004"
+    name = "float-time-equality"
+    summary = ("== / != comparisons against simulated time (.now / peek()); "
+               "accumulated float error makes exact equality fragile")
+    node_types = (ast.Compare,)
+
+    def check(self, node: ast.Compare, ctx: LintContext) -> Iterable[Finding]:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left, *node.comparators]
+        if any(_is_sim_time_expr(o) for o in operands):
+            yield self.finding(ctx, node, (
+                "exact == / != comparison on simulated time; compare with "
+                "an ordering (<, >=) or an explicit tolerance"))
+
+
+# ---------------------------------------------------------------------------
+# SL005 -- raw unit literals
+# ---------------------------------------------------------------------------
+
+#: literal value -> the repro.units spelling that should replace it.
+_UNIT_LITERALS = {
+    10 ** 6: "units.MB (bytes) or units.MFLOPS (rates)",
+    10 ** 9: "units.GB (bytes) or units.GFLOPS (rates)",
+    1 << 20: "units.MIB",
+    1 << 30: "units.GIB",
+    3600: "units.HOUR",          # simlint: disable=SL005 (rule table)
+    86400: "24 * units.HOUR",    # simlint: disable=SL005 (rule table)
+}
+
+
+@register
+class RawUnitLiteralRule(Rule):
+    """Magic numbers that already have a name in :mod:`repro.units`."""
+
+    code = "SL005"
+    name = "raw-unit-literal"
+    summary = ("raw numeric literals (1e6, 1e9, 3600, ...) where a "
+               "repro.units constant exists")
+    node_types = (ast.Constant,)
+
+    def check(self, node: ast.Constant, ctx: LintContext) -> Iterable[Finding]:
+        if ctx.is_units_module:
+            return
+        value = node.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        suggestion = _UNIT_LITERALS.get(value)
+        if suggestion is not None:
+            yield self.finding(ctx, node, (
+                f"raw unit literal {value!r}; use {suggestion} so call "
+                f"sites read like the paper"))
+
+
+# ---------------------------------------------------------------------------
+# SL006 -- shared mutable state
+# ---------------------------------------------------------------------------
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray",
+                            "collections.deque", "collections.defaultdict"})
+
+
+def _is_mutable_value(node: "ast.AST | None", ctx: LintContext) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        qual = ctx.qualified_name(node.func)
+        return qual in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableSharedStateRule(Rule):
+    """Mutable defaults / class attributes leak state across runs."""
+
+    code = "SL006"
+    name = "mutable-shared-state"
+    summary = ("mutable default arguments and class-level mutable literals; "
+               "state shared across strategy runs destroys back-to-back "
+               "comparability")
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_value(default, ctx):
+                    yield self.finding(ctx, default, (
+                        f"mutable default argument in {node.name}(); the "
+                        f"same object is shared by every call -- default to "
+                        f"None and create inside"))
+        else:
+            assert isinstance(node, ast.ClassDef)
+            decorators = {ctx.qualified_name(d) or "" for d in node.decorator_list
+                          } | {ctx.qualified_name(d.func) or ""
+                               for d in node.decorator_list
+                               if isinstance(d, ast.Call)}
+            if any(d.endswith("dataclass") for d in decorators):
+                # Field defaults are validated by dataclasses itself
+                # (mutable defaults raise at class-creation time).
+                return
+            for stmt in node.body:
+                targets: "list[ast.AST]" = []
+                value: "ast.AST | None" = None
+                if isinstance(stmt, ast.Assign):
+                    targets, value = stmt.targets, stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    targets, value = [stmt.target], stmt.value
+                if value is not None and _is_mutable_value(value, ctx):
+                    names = ", ".join(t.id for t in targets
+                                      if isinstance(t, ast.Name))
+                    yield self.finding(ctx, value, (
+                        f"class-level mutable attribute "
+                        f"{names or '<attribute>'} on {node.name}; every "
+                        f"instance shares it -- initialize in __init__"))

@@ -1,0 +1,350 @@
+"""The simulation sanitizer: runtime checks the static linter cannot do.
+
+:class:`SanitizedSimulator` is a drop-in :class:`~repro.simkernel.engine.
+Simulator` that watches a run the way a race detector watches threads.
+It detects, with codes mirroring the ``SL...`` lint codes:
+
+* **SZ101** -- same-``(time, priority)`` event ties: their relative order
+  is decided solely by insertion sequence, so a refactor that reorders
+  scheduling calls silently reorders the simulation.  Reported as
+  warnings (ties are common and *currently* deterministic; the report
+  tells you where reproducibility hangs by the sequence number alone).
+* **SZ102** -- negative, NaN or infinite delays.  The engine already
+  rejects negative delays, but ``NaN`` slips through every ``<``
+  comparison and silently corrupts heap ordering.
+* **SZ103** -- events scheduled after the run drained (a completed
+  ``run()`` with an empty heap): such events will never fire.
+* **SZ104** -- a process that terminates while still holding a
+  :class:`~repro.simkernel.resources.Resource` slot (the DES analog of a
+  leaked lock).
+* **SZ105** -- RNG draws during the run that bypass
+  :class:`~repro.simkernel.rng.RngRegistry` (module-level ``random.*`` /
+  ``numpy.random.*``), which desynchronize the paper's back-to-back
+  strategy comparisons.
+
+In ``strict`` mode error-severity findings raise :class:`SanitizerError`
+at the offending point; otherwise they are collected on
+:attr:`SanitizedSimulator.findings` and summarized by :meth:`report`.
+
+The simulator also keeps a byte-stable :attr:`event_log` (one line per
+processed event) so two runs with the same root seed can be compared for
+*identical* event orderings -- the determinism smoke test in
+``tests/analysis`` does exactly that.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import sys
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.simkernel.engine import Simulator
+from repro.simkernel.events import NORMAL, Event
+from repro.simkernel.process import Process
+from repro.simkernel.resources import Request, Resource
+
+#: Severity of each sanitizer check.
+_SEVERITIES = {"SZ101": "warning", "SZ102": "error", "SZ103": "error",
+               "SZ104": "error", "SZ105": "error"}
+
+
+class SanitizerError(SimulationError):
+    """A sanitizer check failed in strict mode."""
+
+
+@dataclass(frozen=True)
+class SanitizerFinding:
+    """One runtime diagnostic, stamped with simulated time."""
+
+    code: str
+    message: str
+    time: float
+    severity: str = "error"
+
+    def format(self) -> str:
+        return f"[{self.code} {self.severity}] t={self.time:.6g}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "message": self.message,
+                "time": self.time, "severity": self.severity}
+
+
+@dataclass
+class SanitizerReport:
+    """Aggregate outcome of one sanitized run."""
+
+    findings: "list[SanitizerFinding]" = field(default_factory=list)
+    events_processed: int = 0
+    final_time: float = 0.0
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "warning")
+
+    def to_dict(self) -> dict:
+        counts: "dict[str, int]" = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return {
+            "version": 1,
+            "tool": "sim-sanitizer",
+            "events_processed": self.events_processed,
+            "final_time": self.final_time,
+            "error_count": self.error_count,
+            "warning_count": self.warning_count,
+            "counts_by_code": dict(sorted(counts.items())),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def format(self) -> str:
+        lines = [f.format() for f in self.findings]
+        lines.append(f"sanitizer: {self.error_count} errors, "
+                     f"{self.warning_count} warnings over "
+                     f"{self.events_processed} events "
+                     f"(final t={self.final_time:.6g})")
+        return "\n".join(lines)
+
+
+#: ``random``-module functions patched during a sanitized run.
+_RANDOM_FUNCS = ("random", "randint", "randrange", "uniform", "choice",
+                 "choices", "shuffle", "sample", "gauss", "normalvariate",
+                 "expovariate", "betavariate", "getrandbits")
+
+
+class SanitizedSimulator(Simulator):
+    """A :class:`Simulator` with reproducibility checks switched on.
+
+    Parameters
+    ----------
+    start_time:
+        Forwarded to :class:`Simulator`.
+    strict:
+        Raise :class:`SanitizerError` at the first error-severity finding
+        instead of collecting it.
+    max_tie_reports:
+        Cap on recorded SZ101 tie warnings (ties can be numerous).
+    """
+
+    def __init__(self, start_time: float = 0.0, *, strict: bool = False,
+                 max_tie_reports: int = 50) -> None:
+        super().__init__(start_time)
+        self.strict = bool(strict)
+        self.max_tie_reports = int(max_tie_reports)
+        self.findings: "list[SanitizerFinding]" = []
+        #: One byte-stable line per processed event: ``time prio seq kind``.
+        self.event_log: "list[str]" = []
+        self._run_drained = False
+        self._current_process: "Process | None" = None
+        #: id(resource) -> {process: held slot count}.
+        self._holds: "dict[int, dict[Process, int]]" = {}
+        self._resources: "dict[int, Resource]" = {}
+        self._leak_reported: "set[tuple[int, int]]" = set()
+        self._tie_reports = 0
+
+    # -- findings plumbing ---------------------------------------------
+
+    def _record(self, code: str, message: str) -> SanitizerFinding:
+        finding = SanitizerFinding(code=code, message=message, time=self._now,
+                                   severity=_SEVERITIES[code])
+        self.findings.append(finding)
+        if self.strict and finding.severity == "error":
+            raise SanitizerError(finding.format())
+        return finding
+
+    def report(self) -> SanitizerReport:
+        """Snapshot of everything observed so far (plus final leak scan)."""
+        self._scan_for_leaks()
+        return SanitizerReport(findings=list(self.findings),
+                               events_processed=self.processed_events,
+                               final_time=self._now)
+
+    # -- scheduling checks (SZ102 / SZ103) ------------------------------
+
+    def _schedule(self, event: Event, priority: int = NORMAL,
+                  delay: float = 0.0) -> None:
+        if not math.isfinite(delay):
+            self._record("SZ102", f"non-finite delay {delay!r} for {event!r}; "
+                                  f"this corrupts heap ordering")
+            raise SanitizerError(  # always fatal: NaN poisons every compare
+                f"non-finite delay {delay!r} cannot be scheduled")
+        if delay < 0:
+            # The engine raises SchedulingError right after; record first so
+            # the report pins the origin even when the exception is caught.
+            self._record("SZ102", f"negative delay {delay!r} for {event!r}")
+        if self._run_drained:
+            self._record("SZ103", f"{event!r} scheduled after the run "
+                                  f"completed; it will never be processed")
+        super()._schedule(event, priority=priority, delay=delay)
+
+    # -- step instrumentation (SZ101 / SZ104, event log) -----------------
+
+    def step(self) -> None:
+        # The sanitizer is the engine's supervisor: peeking at the heap
+        # structure is its job, unlike ordinary client code.
+        heap = self._heap  # simlint: disable=SL003
+        if heap:
+            when, prio, seq, event = heap[0]
+            self._detect_tie(when, prio, event)
+            self.event_log.append(
+                f"{when!r} {prio} {seq} {self._describe(event)}")
+            if isinstance(event, Request):
+                self._note_grant(event)
+            if isinstance(event, Process):
+                self._note_termination(event)
+            if event.callbacks:
+                event.callbacks[:] = [self._wrap_callback(cb)
+                                      for cb in event.callbacks]
+        super().step()
+
+    @staticmethod
+    def _describe(event: Event) -> str:
+        kind = type(event).__name__
+        name = getattr(event, "name", None)
+        return f"{kind}:{name}" if name else kind
+
+    def _detect_tie(self, when: float, prio: int, event: Event) -> None:
+        if self._tie_reports >= self.max_tie_reports:
+            return
+        heap = self._heap  # simlint: disable=SL003
+        # The second-smallest key sits on one of the root's children.
+        rivals = [heap[i] for i in (1, 2) if i < len(heap)]
+        tied = [r for r in rivals if r[0] == when and r[1] == prio]
+        if not tied:
+            return
+        self._tie_reports += 1
+        rival = min(tied)
+        self._record("SZ101", (
+            f"event tie at t={when!r} priority={prio}: "
+            f"{self._describe(event)} (seq {heap[0][2]}) runs before "
+            f"{self._describe(rival[3])} (seq {rival[2]}) only because it "
+            f"was scheduled first"))
+
+    # -- resource-leak tracking (SZ104) ----------------------------------
+
+    def _wrap_callback(self, callback):
+        func = getattr(callback, "__func__", None)
+        proc = getattr(callback, "__self__", None)
+        if func is not Process._resume or not isinstance(proc, Process):
+            return callback
+
+        def tracked(event: Event, _proc: Process = proc,
+                    _callback=callback) -> None:
+            previous, self._current_process = self._current_process, _proc
+            try:
+                _callback(event)
+            finally:
+                self._current_process = previous
+
+        return tracked
+
+    def _note_grant(self, request: Request) -> None:
+        resource = request.resource
+        self._instrument_resource(resource)
+        holder = next(
+            (cb.__self__ for cb in (request.callbacks or ())
+             if getattr(cb, "__func__", None) is Process._resume
+             and isinstance(getattr(cb, "__self__", None), Process)), None)
+        if holder is None:
+            return
+        holds = self._holds.setdefault(id(resource), {})
+        holds[holder] = holds.get(holder, 0) + 1
+
+    def _instrument_resource(self, resource: Resource) -> None:
+        if id(resource) in self._resources:
+            return
+        self._resources[id(resource)] = resource
+        original = resource.release
+
+        def release() -> None:
+            self._note_release(resource)
+            original()
+
+        resource.release = release  # type: ignore[method-assign]
+
+    def _note_release(self, resource: Resource) -> None:
+        holds = self._holds.get(id(resource))
+        if not holds:
+            return
+        holder = self._current_process
+        if holder is None or holds.get(holder, 0) <= 0:
+            # Released by a process we did not see acquire (handoff or
+            # pre-instrumentation grant): debit any positive holder.
+            holder = next((p for p, n in holds.items() if n > 0), None)
+        if holder is not None:
+            holds[holder] -= 1
+            if holds[holder] <= 0:
+                del holds[holder]
+
+    def _note_termination(self, process: Process) -> None:
+        for res_id, holds in self._holds.items():
+            count = holds.get(process, 0)
+            if count > 0 and (res_id, id(process)) not in self._leak_reported:
+                self._leak_reported.add((res_id, id(process)))
+                resource = self._resources.get(res_id)
+                self._record("SZ104", (
+                    f"{process!r} terminated holding {count} slot(s) of "
+                    f"{resource!r}; waiting processes starve forever"))
+
+    def _scan_for_leaks(self) -> None:
+        for res_id, holds in self._holds.items():
+            for process, count in list(holds.items()):
+                if count > 0 and not process.is_alive:
+                    if (res_id, id(process)) in self._leak_reported:
+                        continue
+                    self._leak_reported.add((res_id, id(process)))
+                    self._record("SZ104", (
+                        f"{process!r} ended holding {count} slot(s) of "
+                        f"{self._resources.get(res_id)!r}"))
+
+    # -- RNG discipline (SZ105) ------------------------------------------
+
+    @contextlib.contextmanager
+    def _rng_guard(self):
+        import random as random_module
+
+        import numpy as np
+
+        patched: "list[tuple[Any, str, Any]]" = []
+
+        def guard(owner: Any, attr: str, qualname: str) -> None:
+            original = getattr(owner, attr)
+
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                frame = sys._getframe(1)
+                caller = frame.f_code.co_filename.replace("\\", "/")
+                if not caller.endswith("simkernel/rng.py"):
+                    self._record("SZ105", (
+                        f"{qualname}() called at {caller}:{frame.f_lineno} "
+                        f"during the run; draw streams from RngRegistry so "
+                        f"competing strategies see identical environments"))
+                return original(*args, **kwargs)
+
+            patched.append((owner, attr, original))
+            setattr(owner, attr, wrapper)
+
+        guard(np.random, "default_rng", "numpy.random.default_rng")
+        guard(np.random, "seed", "numpy.random.seed")
+        for name in _RANDOM_FUNCS:
+            if hasattr(random_module, name):
+                guard(random_module, name, f"random.{name}")
+        try:
+            yield
+        finally:
+            for owner, attr, original in reversed(patched):
+                setattr(owner, attr, original)
+
+    # -- run loop ---------------------------------------------------------
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        with self._rng_guard():
+            result = super().run(until)
+        if until is None and not self._heap:  # simlint: disable=SL003
+            self._run_drained = True
+        return result

@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.app.iterative import ApplicationSpec
 from repro.errors import StrategyError
-from repro.units import KB, MB, MINUTE
+from repro.units import GB, KB, MB, MINUTE
 
 
 def scaled_iteration_minutes(minutes: float, n_processes: int,
@@ -92,8 +92,8 @@ def random_application(rng: np.random.Generator,
     state 1 KB - 1 GB (log-uniform).
     """
     minutes = float(rng.uniform(1.0, 5.0))
-    comm = float(10 ** rng.uniform(np.log10(1 * KB), np.log10(1e9)))
-    state = float(10 ** rng.uniform(np.log10(1 * KB), np.log10(1e9)))
+    comm = float(10 ** rng.uniform(np.log10(1 * KB), np.log10(1 * GB)))
+    state = float(10 ** rng.uniform(np.log10(1 * KB), np.log10(1 * GB)))
     return ApplicationSpec(
         n_processes=n_processes,
         iterations=iterations,

@@ -70,9 +70,9 @@ def main(argv: "list[str] | None" = None) -> int:
         return regenerate_all(args)
 
     spec = get_scenario(args.scenario)
-    started = time.perf_counter()
+    started = time.perf_counter()  # simlint: disable=SL001 (CLI wall-clock display)
     result = run_sweep(spec, seeds=args.seeds)
-    elapsed = time.perf_counter() - started
+    elapsed = time.perf_counter() - started  # simlint: disable=SL001 (CLI wall-clock display)
 
     baseline = args.baseline if args.baseline in result.series else None
     print(format_table(result, baseline=baseline, show_events=args.events))
@@ -105,9 +105,9 @@ def regenerate_all(args) -> int:
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
     for name, spec in sorted(ALL_SCENARIOS.items()):
-        started = time.perf_counter()
+        started = time.perf_counter()  # simlint: disable=SL001 (CLI wall-clock display)
         result = run_sweep(spec, seeds=args.seeds)
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # simlint: disable=SL001 (CLI wall-clock display)
         baseline = "nothing" if "nothing" in result.series else None
         (outdir / f"{name}.txt").write_text(
             format_table(result, baseline=baseline) + "\n")

@@ -23,7 +23,7 @@ from repro.platform.cluster import make_platform
 from repro.simkernel.rng import RngRegistry
 from repro.strategies.nothing import NothingStrategy
 from repro.strategies.swapstrat import SwapStrategy
-from repro.units import MB
+from repro.units import GFLOPS, MB
 
 
 @dataclass
@@ -67,7 +67,7 @@ def fig1_payback(iterations: int = 20,
         return platform
 
     app = ApplicationSpec(n_processes=1, iterations=iterations,
-                          flops_per_iteration=1e9,  # 10 s unloaded
+                          flops_per_iteration=1 * GFLOPS,  # 10 s unloaded
                           state_bytes=state_bytes, name="fig1")
 
     swap_run = SwapStrategy(greedy_policy()).run(build(), app)

@@ -94,12 +94,14 @@ class HyperexponentialLoadModel(LoadModel):
                 if next_event > now:
                     trace.append_segment(next_event, n_live)
                 if next_departure <= state["next_arrival"]:
-                    heapq.heappop(departures)
+                    # This heap orders *lifetime departures* local to one
+                    # load source; it never touches the event loop.
+                    heapq.heappop(departures)  # simlint: disable=SL003
                 else:
                     arrival = state["next_arrival"]
                     life = self._lifetime(rng)
                     if life > 0.0:
-                        heapq.heappush(departures, arrival + life)
+                        heapq.heappush(departures, arrival + life)  # simlint: disable=SL003
                     state["next_arrival"] = arrival + float(
                         rng.exponential(1.0 / self.arrival_rate))
 

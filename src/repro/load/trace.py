@@ -13,6 +13,7 @@ from typing import Sequence
 
 from repro.errors import LoadModelError
 from repro.load.base import LoadModel, LoadTrace
+from repro.units import HOUR
 
 
 class ReplayLoadModel(LoadModel):
@@ -88,7 +89,7 @@ class ReplayLoadModel(LoadModel):
         approximates that diurnal usage for trace-replay studies.
         ``phase_hours`` shifts the pattern (owners with different hours).
         """
-        hour = 3600.0
+        hour = HOUR
         day = day_hours * hour
         if not 0 < lunch_hours < busy_hours < day_hours:
             raise LoadModelError(

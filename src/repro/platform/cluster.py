@@ -17,13 +17,14 @@ from repro.load.base import LoadModel
 from repro.platform.host import Host, HostSpec
 from repro.platform.network import LinkSpec
 from repro.simkernel.rng import RngRegistry
+from repro.units import HOUR, MFLOPS
 
 #: The paper's measured MPI startup cost: "3/4 second per process".
 DEFAULT_STARTUP_PER_PROCESS = 0.75
 
 #: The paper's speed range: "processors in the hundreds-of-megaflops
 #: performance range".
-DEFAULT_SPEED_RANGE = (100e6, 500e6)
+DEFAULT_SPEED_RANGE = (100 * MFLOPS, 500 * MFLOPS)
 
 
 @dataclass
@@ -76,7 +77,7 @@ def make_platform(n_hosts: int,
                   seed: int = 0,
                   speed_range: "tuple[float, float]" = DEFAULT_SPEED_RANGE,
                   link: LinkSpec | None = None,
-                  horizon: float = 3600.0,
+                  horizon: float = HOUR,
                   startup_per_process: float = DEFAULT_STARTUP_PER_PROCESS,
                   ) -> Platform:
     """Build the paper's heterogeneous time-shared platform.

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import PlatformError
 from repro.load.base import ConstantLoadModel, LoadModel, LoadTrace
+from repro.units import HOUR
 
 
 @dataclass(frozen=True)
@@ -47,7 +48,7 @@ class Host:
         Position of the host in its platform (set by the platform builder).
     """
 
-    def __init__(self, spec: HostSpec, rng, horizon: float = 3600.0,
+    def __init__(self, spec: HostSpec, rng, horizon: float = HOUR,
                  index: int = -1) -> None:
         self.spec = spec
         self.index = index

@@ -1,0 +1,279 @@
+"""Each sanitizer check: a toy run that provably triggers it."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import (SanitizedSimulator, SanitizerError)
+from repro.simkernel.resources import Resource
+
+
+def run_codes(sim):
+    sim.run()
+    return [f.code for f in sim.report().findings]
+
+
+# -- SZ101: same-(time, priority) ties ---------------------------------------
+
+class TestTieDetection:
+    def test_deliberate_tie_is_reported(self):
+        sim = SanitizedSimulator()
+
+        def proc(sim):
+            yield sim.timeout(5.0)
+
+        sim.process(proc(sim), name="a")
+        sim.process(proc(sim), name="b")
+        codes = run_codes(sim)
+        assert "SZ101" in codes
+        tie = next(f for f in sim.findings if f.code == "SZ101")
+        assert "insertion" in tie.message or "scheduled first" in tie.message
+        assert tie.severity == "warning"
+
+    def test_distinct_times_no_tie(self):
+        sim = SanitizedSimulator()
+
+        def proc(sim):
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.5)
+
+        sim.process(proc(sim), name="solo")
+        assert "SZ101" not in run_codes(sim)
+
+    def test_tie_reports_are_capped(self):
+        sim = SanitizedSimulator(max_tie_reports=3)
+
+        def proc(sim):
+            yield sim.timeout(1.0)
+
+        for i in range(10):
+            sim.process(proc(sim), name=f"p{i}")
+        sim.run()
+        assert sum(1 for f in sim.findings if f.code == "SZ101") == 3
+
+    def test_different_priorities_are_not_ties(self):
+        from repro.simkernel.events import NORMAL, URGENT
+
+        sim = SanitizedSimulator()
+        a, b = sim.event(), sim.event()
+        a._ok = b._ok = True
+        a._value = b._value = None
+        sim._schedule(a, priority=URGENT, delay=1.0)
+        sim._schedule(b, priority=NORMAL, delay=1.0)
+        sim.run()
+        assert [f.code for f in sim.findings] == []
+
+
+# -- SZ102: corrupt delays ---------------------------------------------------
+
+class TestDelayChecks:
+    def test_nan_delay_caught(self):
+        sim = SanitizedSimulator()
+        event = sim.event()
+        event._ok, event._value = True, None
+        with pytest.raises(SanitizerError):
+            sim._schedule(event, delay=float("nan"))
+        assert [f.code for f in sim.findings] == ["SZ102"]
+
+    def test_infinite_delay_caught(self):
+        sim = SanitizedSimulator()
+        event = sim.event()
+        event._ok, event._value = True, None
+        with pytest.raises(SanitizerError):
+            sim._schedule(event, delay=float("inf"))
+        assert [f.code for f in sim.findings] == ["SZ102"]
+
+    def test_negative_delay_recorded_before_engine_raises(self):
+        from repro.errors import SchedulingError
+
+        sim = SanitizedSimulator()
+        event = sim.event()
+        event._ok, event._value = True, None
+        with pytest.raises(SchedulingError):
+            sim._schedule(event, delay=-1.0)
+        assert [f.code for f in sim.findings] == ["SZ102"]
+
+    def test_plain_simulator_accepts_nan_silently(self):
+        """The hazard is real: the base engine lets NaN into the heap."""
+        from repro.simkernel.engine import Simulator
+
+        sim = Simulator()
+        event = sim.event()
+        event._ok, event._value = True, None
+        sim._schedule(event, delay=float("nan"))  # no exception: corrupted
+        assert len(sim._heap) == 1
+
+
+# -- SZ103: scheduling after the run drained ---------------------------------
+
+class TestPostRunScheduling:
+    def test_post_run_schedule_flagged(self):
+        sim = SanitizedSimulator()
+
+        def proc(sim):
+            yield sim.timeout(1.0)
+
+        sim.process(proc(sim), name="only")
+        sim.run()
+        orphan = sim.event()
+        orphan.succeed("never delivered")
+        assert "SZ103" in [f.code for f in sim.findings]
+
+    def test_strict_mode_raises(self):
+        sim = SanitizedSimulator(strict=True)
+        sim.run()
+        orphan = sim.event()
+        with pytest.raises(SanitizerError):
+            orphan.succeed("boom")
+
+    def test_run_until_time_does_not_mark_drained(self):
+        sim = SanitizedSimulator()
+
+        def proc(sim):
+            yield sim.timeout(10.0)
+
+        sim.process(proc(sim), name="later")
+        sim.run(until=1.0)
+        follow_up = sim.event()
+        follow_up.succeed(None)
+        sim.run()
+        assert "SZ103" not in [f.code for f in sim.findings]
+
+
+# -- SZ104: terminating while holding a resource -----------------------------
+
+class TestResourceLeaks:
+    def test_leaked_slot_flagged(self):
+        sim = SanitizedSimulator()
+        resource = Resource(sim, capacity=1)
+
+        def leaker(sim, resource):
+            yield resource.request()
+            yield sim.timeout(1.0)
+            # terminates without release()
+
+        sim.process(leaker(sim, resource), name="leaker")
+        codes = run_codes(sim)
+        assert "SZ104" in codes
+        assert resource.in_use == 1  # the slot is indeed gone forever
+
+    def test_clean_release_not_flagged(self):
+        sim = SanitizedSimulator()
+        resource = Resource(sim, capacity=1)
+
+        def polite(sim, resource):
+            yield resource.request()
+            yield sim.timeout(1.0)
+            resource.release()
+
+        sim.process(polite(sim, resource), name="polite")
+        codes = run_codes(sim)
+        assert "SZ104" not in codes
+        assert resource.in_use == 0
+
+    def test_two_holders_one_leaks(self):
+        sim = SanitizedSimulator()
+        resource = Resource(sim, capacity=2)
+
+        def polite(sim, resource):
+            yield resource.request()
+            yield sim.timeout(1.0)
+            resource.release()
+
+        def leaker(sim, resource):
+            yield resource.request()
+            yield sim.timeout(2.0)
+
+        sim.process(polite(sim, resource), name="polite")
+        sim.process(leaker(sim, resource), name="leaker")
+        findings = [f for f in _report(sim) if f.code == "SZ104"]
+        assert len(findings) == 1
+        assert "leaker" in findings[0].message
+
+
+def _report(sim):
+    sim.run()
+    return sim.report().findings
+
+
+# -- SZ105: RNG draws outside the registry -----------------------------------
+
+class TestRngDiscipline:
+    def test_unregistered_numpy_draw_flagged(self):
+        sim = SanitizedSimulator()
+
+        def proc(sim):
+            np.random.default_rng()  # ambient entropy mid-run
+            yield sim.timeout(1.0)
+
+        sim.process(proc(sim), name="cheater")
+        assert "SZ105" in run_codes(sim)
+
+    def test_stdlib_random_flagged(self):
+        sim = SanitizedSimulator()
+
+        def proc(sim):
+            random.random()
+            yield sim.timeout(1.0)
+
+        sim.process(proc(sim), name="cheater")
+        assert "SZ105" in run_codes(sim)
+
+    def test_registry_stream_allowed(self):
+        from repro.simkernel.rng import RngRegistry
+
+        sim = SanitizedSimulator()
+        registry = RngRegistry(7)
+
+        def proc(sim):
+            rng = registry.stream("test", 0)
+            rng.random()
+            yield sim.timeout(1.0)
+
+        sim.process(proc(sim), name="lawful")
+        assert "SZ105" not in run_codes(sim)
+
+    def test_patching_is_restored_after_run(self):
+        sim = SanitizedSimulator()
+
+        def proc(sim):
+            yield sim.timeout(1.0)
+
+        sim.process(proc(sim), name="p")
+        original = np.random.default_rng
+        sim.run()
+        assert np.random.default_rng is original
+
+
+# -- report shape ------------------------------------------------------------
+
+def test_report_json_schema():
+    sim = SanitizedSimulator()
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+
+    sim.process(proc(sim), name="a")
+    sim.process(proc(sim), name="b")
+    sim.run()
+    payload = sim.report().to_dict()
+    assert payload["version"] == 1
+    assert payload["tool"] == "sim-sanitizer"
+    assert payload["events_processed"] == sim.processed_events > 0
+    assert payload["error_count"] == 0
+    assert payload["warning_count"] >= 1
+    for entry in payload["findings"]:
+        assert set(entry) == {"code", "message", "time", "severity"}
+
+
+def test_event_log_records_every_event():
+    sim = SanitizedSimulator()
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+
+    sim.process(proc(sim), name="solo")
+    sim.run()
+    assert len(sim.event_log) == sim.processed_events
+    assert any("Process:solo" in line for line in sim.event_log)

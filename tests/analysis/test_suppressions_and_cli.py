@@ -1,0 +1,144 @@
+"""Suppression comments, JSON schema, and the CLI front end."""
+
+import json
+import textwrap
+
+from repro.analysis.cli import main
+from repro.analysis.linter import findings_to_dict, lint_paths, lint_source
+
+FLAGGED = textwrap.dedent("""
+    import time
+    def stamp():
+        return time.time()
+""")
+
+
+# -- suppression comments ---------------------------------------------------
+
+def test_line_suppression_silences_only_that_code():
+    source = FLAGGED.replace(
+        "return time.time()",
+        "return time.time()  # simlint: disable=SL001")
+    assert lint_source(source) == []
+
+
+def test_line_suppression_wrong_code_keeps_finding():
+    source = FLAGGED.replace(
+        "return time.time()",
+        "return time.time()  # simlint: disable=SL005")
+    assert [f.code for f in lint_source(source)] == ["SL001"]
+
+
+def test_line_suppression_multiple_codes():
+    source = textwrap.dedent("""
+        import time
+        def stamp(h=[]):
+            return time.time(), h  # simlint: disable=SL001,SL006
+    """)
+    # SL006 is reported on the default's line (the def), not the body line.
+    findings = lint_source(source)
+    assert [f.code for f in findings] == ["SL006"]
+    source = source.replace("def stamp(h=[]):",
+                            "def stamp(h=[]):  # simlint: disable=SL006")
+    assert lint_source(source) == []
+
+
+def test_line_suppression_all_keyword():
+    source = FLAGGED.replace(
+        "return time.time()",
+        "return time.time()  # simlint: disable=all")
+    assert lint_source(source) == []
+
+
+def test_file_suppression():
+    source = "# simlint: disable-file=SL001\n" + FLAGGED
+    assert lint_source(source) == []
+
+
+def test_file_suppression_other_code_untouched():
+    source = "# simlint: disable-file=SL003\n" + FLAGGED
+    assert [f.code for f in lint_source(source)] == ["SL001"]
+
+
+# -- JSON schema -------------------------------------------------------------
+
+def test_json_payload_schema():
+    findings = lint_source(FLAGGED, path="pkg/mod.py")
+    payload = findings_to_dict(findings, files_scanned=1)
+    assert payload["version"] == 1
+    assert payload["tool"] == "simlint"
+    assert payload["files_scanned"] == 1
+    assert payload["finding_count"] == 1
+    assert payload["counts_by_code"] == {"SL001": 1}
+    (entry,) = payload["findings"]
+    assert set(entry) == {"code", "message", "path", "line", "column"}
+    assert entry["code"] == "SL001"
+    assert entry["path"] == "pkg/mod.py"
+    assert entry["line"] == 4
+    assert isinstance(entry["column"], int) and entry["column"] >= 1
+    json.dumps(payload)  # must be serializable as-is
+
+
+def test_findings_sorted_and_counted(tmp_path):
+    (tmp_path / "b.py").write_text("import time\nt = time.time()\nH = 3600\n")
+    (tmp_path / "a.py").write_text("def f(x=[]):\n    return x\n")
+    findings, files_scanned = lint_paths([tmp_path])
+    assert files_scanned == 2
+    assert [f.code for f in findings] == ["SL006", "SL001", "SL005"]
+    paths = [f.path for f in findings]
+    assert paths == sorted(paths)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("from repro.units import HOUR\nH = HOUR\n")
+    assert main([str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_cli_findings_exit_one_and_print_location(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    assert main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "bad.py:2" in out and "SL001" in out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    assert main([str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "simlint"
+    assert payload["finding_count"] == 1
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006"):
+        assert code in out
+
+
+def test_cli_no_paths_is_usage_error(capsys):
+    assert main([]) == 2
+
+
+def test_cli_missing_path_is_usage_error(capsys):
+    assert main(["definitely/not/a/real/path"]) == 2
+
+
+def test_cli_syntax_error_reported_not_raised(tmp_path, capsys):
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    assert main([str(tmp_path)]) == 1
+    assert "SL000" in capsys.readouterr().out
+
+
+def test_cli_self_check_is_clean(capsys):
+    """The committed tree must pass its own gate (the CI invocation)."""
+    assert main(["--self-check"]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+    assert "sanitizer demo: 0 errors" in out
