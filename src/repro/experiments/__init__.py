@@ -4,10 +4,18 @@
   the ablation sweeps, including the documented mapping from the paper's
   "environment dynamism" axis to ON/OFF chain parameters.
 * :mod:`repro.experiments.runner` -- replicated, seeded sweep execution.
+* :mod:`repro.experiments.executor` -- parallel cell execution and the
+  content-addressed cell cache (``run_sweep(..., jobs=N, cache_dir=...)``).
 * :mod:`repro.experiments.report` -- tables and ASCII charts.
 * :mod:`repro.experiments.cli` -- ``python -m repro.experiments fig4``.
 """
 
+from repro.experiments.executor import (
+    CellCache,
+    SweepTiming,
+    append_bench_record,
+    execute_sweep,
+)
 from repro.experiments.runner import SweepResult, run_sweep
 from repro.experiments.scenarios import (
     ALL_SCENARIOS,
@@ -18,9 +26,13 @@ from repro.experiments.report import ascii_chart, format_table
 
 __all__ = [
     "ALL_SCENARIOS",
+    "CellCache",
     "OnOffDynamism",
     "SweepResult",
+    "SweepTiming",
+    "append_bench_record",
     "ascii_chart",
+    "execute_sweep",
     "format_table",
     "get_scenario",
     "run_sweep",

@@ -6,18 +6,23 @@ Examples
 ::
 
     python -m repro.experiments fig4
+    python -m repro.experiments fig4 --jobs 4
     python -m repro.experiments fig7 --seeds 10 --chart
     python -m repro.experiments --list
+
+Sweep cells are cached under ``--cache-dir`` (content-addressed; see
+docs/PERFORMANCE.md), so an interrupted or repeated run only computes
+missing cells; ``--no-cache`` forces a full recompute.  Each run folds a
+machine-readable timing record into ``BENCH_sweeps.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
+from repro.experiments.executor import append_bench_record, execute_sweep
 from repro.experiments.report import ascii_chart, format_table, shape_summary
-from repro.experiments.runner import run_sweep
 from repro.experiments.scenarios import ALL_SCENARIOS, get_scenario
 
 
@@ -35,6 +40,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seeds", type=int, default=None,
                         help="number of replicated seeds (default: "
                              "scenario-specific)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep cells "
+                             "(default: 1, serial reference path)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=".sweep-cache",
+                        help="content-addressed cell cache directory "
+                             "(default: .sweep-cache/)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every cell; do not read or write "
+                             "the cell cache")
+    parser.add_argument("--bench-json", metavar="PATH",
+                        default="BENCH_sweeps.json",
+                        help="perf-record file updated after each sweep "
+                             "(default: BENCH_sweeps.json; for 'all' it is "
+                             "written inside --outdir)")
+    parser.add_argument("--no-bench", action="store_true",
+                        help="do not write the perf record")
     parser.add_argument("--chart", action="store_true",
                         help="also draw an ASCII chart")
     parser.add_argument("--events", action="store_true",
@@ -70,9 +91,9 @@ def main(argv: "list[str] | None" = None) -> int:
         return regenerate_all(args)
 
     spec = get_scenario(args.scenario)
-    started = time.perf_counter()  # simlint: disable=SL001 (CLI wall-clock display)
-    result = run_sweep(spec, seeds=args.seeds)
-    elapsed = time.perf_counter() - started  # simlint: disable=SL001 (CLI wall-clock display)
+    cache_dir = None if args.no_cache else args.cache_dir
+    result, timing = execute_sweep(spec, seeds=args.seeds, jobs=args.jobs,
+                                   cache_dir=cache_dir)
 
     baseline = args.baseline if args.baseline in result.series else None
     print(format_table(result, baseline=baseline, show_events=args.events))
@@ -92,7 +113,13 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.experiments.svgplot import write_svg
         write_svg(result, args.svg)
         print(f"wrote {args.svg}")
-    print(f"\n[{len(result.seeds)} seeds, {elapsed:.2f}s]")
+    if not args.no_bench:
+        append_bench_record(args.bench_json, timing)
+        print(f"\nwrote perf record to {args.bench_json}")
+    print(f"\n[{len(result.seeds)} seeds, {args.jobs} job(s), "
+          f"{timing.wall_time:.2f}s; {timing.cells_computed}/"
+          f"{timing.cells_total} cells computed, {timing.cache_hits} "
+          f"cache hits, {timing.events_per_sec:.0f} events/s]")
     return 0
 
 
@@ -104,10 +131,11 @@ def regenerate_all(args) -> int:
 
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
+    cache_dir = None if args.no_cache else args.cache_dir
+    bench_path = outdir / "BENCH_sweeps.json"
     for name, spec in sorted(ALL_SCENARIOS.items()):
-        started = time.perf_counter()  # simlint: disable=SL001 (CLI wall-clock display)
-        result = run_sweep(spec, seeds=args.seeds)
-        elapsed = time.perf_counter() - started  # simlint: disable=SL001 (CLI wall-clock display)
+        result, timing = execute_sweep(spec, seeds=args.seeds,
+                                       jobs=args.jobs, cache_dir=cache_dir)
         baseline = "nothing" if "nothing" in result.series else None
         (outdir / f"{name}.txt").write_text(
             format_table(result, baseline=baseline) + "\n")
@@ -115,9 +143,14 @@ def regenerate_all(args) -> int:
             write_svg(result, outdir / f"{name}.svg")
         result.to_csv(outdir / f"{name}.csv")
         result.to_json(outdir / f"{name}.json")
+        if not args.no_bench:
+            append_bench_record(bench_path, timing)
         print(f"{name:>22}: {len(result.x_values)} points x "
-              f"{len(result.seeds)} seeds in {elapsed:5.2f}s -> "
-              f"{outdir}/{name}.{{txt,svg,csv,json}}")
+              f"{len(result.seeds)} seeds in {timing.wall_time:5.2f}s "
+              f"({timing.cells_computed} cells, {timing.cache_hits} cache "
+              f"hits) -> {outdir}/{name}.{{txt,svg,csv,json}}")
+    if not args.no_bench:
+        print(f"wrote perf records to {bench_path}")
     return 0
 
 

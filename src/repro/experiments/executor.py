@@ -1,0 +1,395 @@
+"""Parallel sweep execution with a content-addressed cell cache.
+
+A sweep is a grid of independent *cells*: one ``(x value, seed)`` pair,
+inside which every variant runs back-to-back on one shared platform (the
+paper's identical-environments methodology lives entirely *inside* a
+cell).  Cells never communicate, so the executor can
+
+* fan them out over a :class:`concurrent.futures.ProcessPoolExecutor`
+  (``jobs > 1``) while keeping the merged :class:`~repro.experiments.
+  runner.SweepResult` **bit-identical** to the serial reference: results
+  are keyed by grid coordinates and merged in ``(x, seed)`` order, so
+  completion order is irrelevant, and floats cross process boundaries via
+  pickle (exact) or JSON ``repr`` round-trips (also exact);
+* skip cells whose results are already on disk: the cache key is a
+  SHA-256 over the scenario name, the spec fingerprint (declarative
+  fields plus builder source), the cell coordinates, and the package
+  version, so edited scenarios or upgraded code never reuse stale
+  entries.  Entries that fail to parse or whose recorded digest does not
+  match are treated as misses and recomputed, never trusted.
+
+``jobs=1`` executes the same ``compute_cell`` function in-process, in
+grid order -- that path is the reference implementation the equivalence
+tests compare against.
+
+Every execution also produces a :class:`SweepTiming` -- wall time, cells
+computed vs. cache hits, simulated iterations, and kernel events per
+second (via :func:`repro.simkernel.engine.events_processed_total`) --
+which :func:`append_bench_record` folds into a ``BENCH_sweeps.json``
+perf-trajectory file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from hashlib import sha256
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro._version import __version__
+from repro.errors import ExperimentError
+from repro.experiments.runner import SeriesStats, SweepResult
+from repro.experiments.scenarios import ExperimentSpec
+from repro.simkernel import engine as _engine
+from repro.strategies.base import ExecutionResult
+
+#: Cell payload schema version; bump to invalidate every cached entry.
+CACHE_FORMAT = 1
+
+
+# -- one cell ---------------------------------------------------------------
+
+
+@dataclass
+class CellResult:
+    """Everything the deterministic merge needs from one ``(x, seed)`` cell."""
+
+    labels: "list[str]"
+    """Variant labels in builder order (the merge preserves this order)."""
+    makespans: "dict[str, float]"
+    events: "dict[str, float]"
+    """Swaps + restarts per variant, as floats (matches the serial runner)."""
+    iterations: int
+    """Simulated iterations executed across all variants of the cell."""
+    engine_events: int
+    """Kernel events processed while computing the cell (0 for the purely
+    analytic iteration-level simulators)."""
+
+    def to_payload(self) -> dict:
+        return {"labels": list(self.labels),
+                "makespans": dict(self.makespans),
+                "events": dict(self.events),
+                "iterations": int(self.iterations),
+                "engine_events": int(self.engine_events)}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CellResult":
+        labels = [str(label) for label in payload["labels"]]
+        makespans = {str(k): float(v) for k, v in payload["makespans"].items()}
+        events = {str(k): float(v) for k, v in payload["events"].items()}
+        if set(labels) != set(makespans) or set(labels) != set(events):
+            raise ValueError("cell payload labels disagree with its series")
+        return cls(labels=labels, makespans=makespans, events=events,
+                   iterations=int(payload["iterations"]),
+                   engine_events=int(payload["engine_events"]))
+
+
+def compute_cell(spec: ExperimentSpec, x: float, seed: int) -> CellResult:
+    """Run every variant of one cell (the serial reference, and the
+    function worker processes execute)."""
+    events_before = _engine.events_processed_total()
+    platform, variants = spec.build(x, seed)
+    labels = [label for label, _app, _strategy in variants]
+    if len(set(labels)) != len(labels):
+        raise ExperimentError(
+            f"{spec.name}: duplicate variant labels {labels}")
+    makespans: "dict[str, float]" = {}
+    events: "dict[str, float]" = {}
+    iterations = 0
+    for label, app, strategy in variants:
+        result: ExecutionResult = strategy.run(platform, app)
+        makespans[label] = result.makespan
+        events[label] = float(result.swap_count + result.restart_count)
+        iterations += result.iteration_count
+    return CellResult(labels=labels, makespans=makespans, events=events,
+                      iterations=iterations,
+                      engine_events=(_engine.events_processed_total()
+                                     - events_before))
+
+
+# -- content addressing -----------------------------------------------------
+
+
+def cell_digest(scenario: str, fingerprint: str, x: float, seed: int) -> str:
+    """The cache key of one cell.
+
+    ``repr(float(x))`` is the shortest round-tripping spelling, so the key
+    is stable across processes and handles non-finite grids (``inf`` in
+    the payback ablation).
+    """
+    hasher = sha256()
+    for part in (scenario, fingerprint, repr(float(x)), str(int(seed)),
+                 __version__, str(CACHE_FORMAT)):
+        hasher.update(part.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+class CellCache:
+    """Content-addressed on-disk store of computed sweep cells.
+
+    Layout: ``<root>/<first two hex digits>/<digest>.json``.  Entries
+    embed their own digest and schema version; :meth:`load` re-validates
+    both plus the payload structure, so a corrupted or truncated file is
+    a cache miss, not a wrong answer.
+    """
+
+    def __init__(self, root: "str | os.PathLike") -> None:
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def load(self, digest: str) -> "CellResult | None":
+        try:
+            payload = json.loads(self.path_for(digest).read_text())
+        except (OSError, ValueError):
+            return None
+        try:
+            if (payload["digest"] != digest
+                    or payload["format"] != CACHE_FORMAT):
+                return None
+            return CellResult.from_payload(payload["cell"])
+        except (KeyError, TypeError, ValueError, AttributeError):
+            return None
+
+    def store(self, digest: str, cell: CellResult, *, scenario: str,
+              x: float, seed: int) -> None:
+        """Persist one cell atomically (temp file + rename)."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"format": CACHE_FORMAT, "digest": digest,
+                   "scenario": scenario, "x": x, "seed": seed,
+                   "version": __version__, "cell": cell.to_payload()}
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+
+
+# -- timing record ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepTiming:
+    """Machine-readable performance record of one sweep execution.
+
+    ``iterations`` and ``engine_events`` count only the cells *computed*
+    in this run -- cache hits did no simulation work.
+    """
+
+    scenario: str
+    jobs: int
+    wall_time: float
+    cells_total: int
+    cells_computed: int
+    cache_hits: int
+    iterations: int
+    engine_events: int
+    x_points: int
+    seeds: int
+
+    @property
+    def cells_per_sec(self) -> float:
+        return self.cells_computed / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Kernel event throughput (``Simulator.processed_events`` deltas)."""
+        return self.engine_events / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def iterations_per_sec(self) -> float:
+        return self.iterations / self.wall_time if self.wall_time > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "jobs": self.jobs,
+            "wall_time_s": self.wall_time,
+            "cells_total": self.cells_total,
+            "cells_computed": self.cells_computed,
+            "cache_hits": self.cache_hits,
+            "iterations": self.iterations,
+            "engine_events": self.engine_events,
+            "x_points": self.x_points,
+            "seeds": self.seeds,
+            "cells_per_sec": self.cells_per_sec,
+            "events_per_sec": self.events_per_sec,
+            "iterations_per_sec": self.iterations_per_sec,
+        }
+
+
+def append_bench_record(path: "str | os.PathLike",
+                        timing: SweepTiming) -> dict:
+    """Fold one timing record into a ``BENCH_sweeps.json`` file.
+
+    Records are keyed by ``(scenario, jobs)``; the latest run wins, and
+    the file stays sorted so diffs across commits read as a trajectory.
+    Returns the document written.
+    """
+    path = Path(path)
+    records: "dict[tuple[str, int], dict]" = {}
+    try:
+        for record in json.loads(path.read_text())["records"]:
+            records[(str(record["scenario"]), int(record["jobs"]))] = record
+    except (OSError, ValueError, TypeError, KeyError):
+        records = {}
+    record = timing.to_dict()
+    records[(record["scenario"], record["jobs"])] = record
+    doc = {"version": 1, "tool": "sweep-bench",
+           "records": [records[key] for key in sorted(records)]}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+# -- the executor -----------------------------------------------------------
+
+
+def _normalize_seeds(spec: ExperimentSpec,
+                     seeds: "Sequence[int] | int | None") -> "list[int]":
+    if seeds is None:
+        seeds = range(spec.default_seeds)
+    elif isinstance(seeds, int):
+        seeds = range(seeds)
+    seed_list = list(seeds)
+    if not seed_list:
+        raise ExperimentError("need at least one seed")
+    return seed_list
+
+
+def merge_cells(spec: ExperimentSpec, seed_list: "list[int]",
+                cells: "dict[tuple[int, int], CellResult]") -> SweepResult:
+    """Aggregate cells into a :class:`SweepResult`, in grid order.
+
+    This is the serial runner's aggregation loop verbatim, reading cell
+    results instead of running strategies: per x, makespans accumulate in
+    seed order and series appear in first-encounter (builder) order, so
+    the output is byte-identical no matter how the cells were produced.
+    """
+    series: "dict[str, SeriesStats]" = {}
+    for xi, _x in enumerate(spec.x_values):
+        per_series_makespans: "dict[str, list[float]]" = {}
+        per_series_events: "dict[str, list[float]]" = {}
+        for si, _seed in enumerate(seed_list):
+            cell = cells[(xi, si)]
+            for label in cell.labels:
+                per_series_makespans.setdefault(label, []).append(
+                    cell.makespans[label])
+                per_series_events.setdefault(label, []).append(
+                    cell.events[label])
+        for label, makespans in per_series_makespans.items():
+            stats = series.setdefault(label, SeriesStats())
+            stats.mean.append(float(np.mean(makespans)))
+            stats.std.append(float(np.std(makespans)))
+            stats.raw.append(makespans)
+            stats.swap_counts.append(float(np.mean(per_series_events[label])))
+
+    lengths = {label: len(s.mean) for label, s in series.items()}
+    if len(set(lengths.values())) != 1:
+        raise ExperimentError(
+            f"{spec.name}: ragged series lengths {lengths} -- a variant "
+            f"was not produced at every x value")
+
+    return SweepResult(name=spec.name, title=spec.title, xlabel=spec.xlabel,
+                       x_values=list(spec.x_values), series=series,
+                       seeds=seed_list, paper_claim=spec.paper_claim)
+
+
+def execute_sweep(spec: ExperimentSpec,
+                  seeds: "Sequence[int] | int | None" = None,
+                  *,
+                  jobs: int = 1,
+                  cache_dir: "str | os.PathLike | None" = None,
+                  on_point: "Callable[[float, int], None] | None" = None,
+                  ) -> "tuple[SweepResult, SweepTiming]":
+    """Run a sweep over its ``(x, seed)`` cells and merge deterministically.
+
+    Parameters
+    ----------
+    spec:
+        The scenario to run.
+    seeds:
+        An iterable of seeds, an int (``range(seeds)``), or None
+        (``range(spec.default_seeds)``).
+    jobs:
+        Worker processes.  ``1`` (the default) runs every cell in-process
+        in grid order -- the reference implementation.  ``jobs > 1``
+        requires the spec's builder to be picklable (a module-level
+        function, as all registered scenarios are).
+    cache_dir:
+        Root of the content-addressed cell cache, or None to disable
+        caching.  Only cells missing from the cache are computed.
+    on_point:
+        Progress callback invoked as ``on_point(x, seed)`` once per cell
+        (including cache hits), in grid order, before any cell executes.
+
+    Returns
+    -------
+    (result, timing):
+        The merged sweep result -- bit-identical to the serial run for
+        any ``jobs`` / cache state -- and its performance record.
+    """
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    seed_list = _normalize_seeds(spec, seeds)
+    started = time.perf_counter()  # simlint: disable=SL001 (perf record of the host run, not simulated time)
+
+    coords = [(xi, x, si, seed)
+              for xi, x in enumerate(spec.x_values)
+              for si, seed in enumerate(seed_list)]
+
+    cache = CellCache(cache_dir) if cache_dir is not None else None
+    fingerprint = spec.fingerprint() if cache is not None else ""
+
+    cells: "dict[tuple[int, int], CellResult]" = {}
+    pending: "list[tuple[int, int, float, int, str]]" = []
+    for xi, x, si, seed in coords:
+        if on_point is not None:
+            on_point(x, seed)
+        digest = ""
+        if cache is not None:
+            digest = cell_digest(spec.name, fingerprint, x, seed)
+            cached = cache.load(digest)
+            if cached is not None:
+                cells[(xi, si)] = cached
+                continue
+        pending.append((xi, si, x, seed, digest))
+
+    if pending and jobs == 1:
+        for xi, si, x, seed, digest in pending:
+            cell = compute_cell(spec, x, seed)
+            cells[(xi, si)] = cell
+            if cache is not None:
+                cache.store(digest, cell, scenario=spec.name, x=x, seed=seed)
+    elif pending:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(compute_cell, spec, x, seed): (xi, si, x, seed,
+                                                           digest)
+                for xi, si, x, seed, digest in pending}
+            for future in as_completed(futures):
+                xi, si, x, seed, digest = futures[future]
+                cell = future.result()
+                cells[(xi, si)] = cell
+                if cache is not None:
+                    cache.store(digest, cell, scenario=spec.name, x=x,
+                                seed=seed)
+
+    result = merge_cells(spec, seed_list, cells)
+    wall = time.perf_counter() - started  # simlint: disable=SL001 (perf record of the host run, not simulated time)
+    computed = [cells[(xi, si)] for xi, si, _x, _seed, _d in pending]
+    timing = SweepTiming(
+        scenario=spec.name, jobs=jobs, wall_time=wall,
+        cells_total=len(coords), cells_computed=len(pending),
+        cache_hits=len(coords) - len(pending),
+        iterations=sum(cell.iterations for cell in computed),
+        engine_events=sum(cell.engine_events for cell in computed),
+        x_points=len(spec.x_values), seeds=len(seed_list))
+    return result, timing

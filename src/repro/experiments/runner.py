@@ -4,6 +4,10 @@ For each x value and each seed, the scenario builder constructs one
 platform (one sampled environment) and every variant runs on it
 back-to-back -- identical load traces across competing strategies, the
 property the paper's simulation methodology exists to provide.
+
+Cell scheduling (serial, parallel, cached) lives in
+:mod:`repro.experiments.executor`; this module owns the result model and
+the public :func:`run_sweep` entry point.
 """
 
 from __future__ import annotations
@@ -11,11 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-import numpy as np
-
 from repro.errors import ExperimentError
 from repro.experiments.scenarios import ExperimentSpec
-from repro.strategies.base import ExecutionResult
 
 
 @dataclass
@@ -130,8 +131,16 @@ class SweepResult:
 def run_sweep(spec: ExperimentSpec,
               seeds: "Sequence[int] | int | None" = None,
               on_point: "Callable[[float, int], None] | None" = None,
+              *,
+              jobs: int = 1,
+              cache_dir=None,
               ) -> SweepResult:
     """Run a full sweep and aggregate makespans per (x, series).
+
+    Delegates to :func:`repro.experiments.executor.execute_sweep`; the
+    ``jobs=1`` default executes every cell in-process, in grid order (the
+    reference implementation), and the result is bit-identical for any
+    ``jobs`` / cache configuration.
 
     Parameters
     ----------
@@ -141,48 +150,17 @@ def run_sweep(spec: ExperimentSpec,
         Either an iterable of seeds, an int (``range(seeds)``), or None
         (``range(spec.default_seeds)``).
     on_point:
-        Optional progress callback invoked as ``on_point(x, seed)`` before
-        each (x, seed) cell (used by the CLI for progress output).
+        Optional progress callback invoked as ``on_point(x, seed)`` once
+        per (x, seed) cell (used by the CLI for progress output).
+    jobs:
+        Worker processes for cell execution (``>1`` fans cells out over a
+        process pool; the spec's builder must then be picklable).
+    cache_dir:
+        Root directory of the content-addressed cell cache, or None (the
+        default) to disable caching.
     """
-    if seeds is None:
-        seeds = range(spec.default_seeds)
-    elif isinstance(seeds, int):
-        seeds = range(seeds)
-    seed_list = list(seeds)
-    if not seed_list:
-        raise ExperimentError("need at least one seed")
+    from repro.experiments.executor import execute_sweep
 
-    series: "dict[str, SeriesStats]" = {}
-    for x in spec.x_values:
-        per_series_makespans: "dict[str, list[float]]" = {}
-        per_series_events: "dict[str, list[float]]" = {}
-        for seed in seed_list:
-            if on_point is not None:
-                on_point(x, seed)
-            platform, variants = spec.build(x, seed)
-            labels = [label for label, _app, _s in variants]
-            if len(set(labels)) != len(labels):
-                raise ExperimentError(
-                    f"{spec.name}: duplicate variant labels {labels}")
-            for label, app, strategy in variants:
-                result: ExecutionResult = strategy.run(platform, app)
-                per_series_makespans.setdefault(label, []).append(
-                    result.makespan)
-                per_series_events.setdefault(label, []).append(
-                    float(result.swap_count + result.restart_count))
-        for label, makespans in per_series_makespans.items():
-            stats = series.setdefault(label, SeriesStats())
-            stats.mean.append(float(np.mean(makespans)))
-            stats.std.append(float(np.std(makespans)))
-            stats.raw.append(makespans)
-            stats.swap_counts.append(float(np.mean(per_series_events[label])))
-
-    lengths = {label: len(s.mean) for label, s in series.items()}
-    if len(set(lengths.values())) != 1:  # pragma: no cover - defensive
-        raise ExperimentError(
-            f"{spec.name}: ragged series lengths {lengths} -- a variant "
-            f"was not produced at every x value")
-
-    return SweepResult(name=spec.name, title=spec.title, xlabel=spec.xlabel,
-                       x_values=list(spec.x_values), series=series,
-                       seeds=seed_list, paper_claim=spec.paper_claim)
+    result, _timing = execute_sweep(spec, seeds=seeds, jobs=jobs,
+                                    cache_dir=cache_dir, on_point=on_point)
+    return result

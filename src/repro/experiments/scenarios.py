@@ -124,6 +124,31 @@ class ExperimentSpec:
         if not self.x_values:
             raise ExperimentError(f"{self.name}: empty x grid")
 
+    def fingerprint(self) -> str:
+        """Content hash of everything that defines this sweep's cells.
+
+        Covers the declarative fields *and the source text of the builder
+        function*, so editing a scenario invalidates its cached cells (see
+        :mod:`repro.experiments.executor`).  It deliberately does not chase
+        the builder's transitive imports: changes to strategy or platform
+        internals are covered by the package version, which participates in
+        the cell cache key alongside this fingerprint.
+        """
+        import hashlib
+        import inspect
+
+        try:
+            build_src = inspect.getsource(self.build)
+        except (OSError, TypeError):  # builtins / C callables / lost source
+            build_src = getattr(self.build, "__qualname__", repr(self.build))
+        hasher = hashlib.sha256()
+        for part in (self.name, self.title, self.xlabel,
+                     repr(tuple(float(x) for x in self.x_values)),
+                     str(self.default_seeds), self.paper_claim, build_src):
+            hasher.update(part.encode("utf-8"))
+            hasher.update(b"\x00")
+        return hasher.hexdigest()
+
 
 def _standard_app(n_processes: int, state_bytes: float,
                   iterations: int = 50) -> ApplicationSpec:

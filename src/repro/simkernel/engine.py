@@ -15,6 +15,24 @@ from repro.errors import SchedulingError, SimulationError
 from repro.simkernel.events import NORMAL, Event, Timeout
 from repro.simkernel.process import Process
 
+# The event loop is the innermost loop of every simulation; bind the heap
+# primitives once so `step`/`_schedule` skip the module-attribute lookups.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+_INF = float("inf")
+
+#: Process-wide tally of events processed by *every* Simulator instance.
+#: Orchestration layers (the sweep executor's timing records) read it via
+#: :func:`events_processed_total` to report kernel throughput without
+#: holding references to the simulators created deep inside a run.
+_EVENTS_TOTAL = [0]
+
+
+def events_processed_total() -> int:
+    """Events processed by all simulators in this process so far."""
+    return _EVENTS_TOTAL[0]
+
 
 class Simulator:
     """Discrete-event simulator: clock, heap, and factory methods.
@@ -50,12 +68,19 @@ class Simulator:
     def _schedule(self, event: Event, priority: int = NORMAL,
                   delay: float = 0.0) -> None:
         """Insert a triggered event into the heap (internal)."""
-        if delay < 0:
-            raise SchedulingError(f"cannot schedule into the past (delay={delay})")
+        if not 0.0 <= delay < _INF:
+            # One range check rejects negatives, NaN and +/-inf: NaN fails
+            # every comparison, and a non-finite timestamp silently corrupts
+            # the heap's total ordering for every later event.
+            if delay < 0:
+                raise SchedulingError(
+                    f"cannot schedule into the past (delay={delay})")
+            raise SchedulingError(
+                f"non-finite delay {delay!r} cannot be scheduled")
         if event._scheduled:
             raise SchedulingError(f"{event!r} is already scheduled")
         event._scheduled = True
-        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+        _heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -63,9 +88,10 @@ class Simulator:
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             raise SimulationError("no more events to process")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _prio, _seq, event = _heappop(heap)
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("event scheduled in the past")
         self._now = when
@@ -74,6 +100,7 @@ class Simulator:
         for callback in callbacks:
             callback(event)
         self.processed_events += 1
+        _EVENTS_TOTAL[0] += 1
         if not event.ok and not event._defused:
             exc = event.value
             raise exc
@@ -106,7 +133,7 @@ class Simulator:
         while self._heap:
             if until_event is not None and until_event.processed:
                 return until_event.value
-            if self.peek() > until_time:
+            if self._heap[0][0] > until_time:
                 self._now = until_time
                 return None
             self.step()

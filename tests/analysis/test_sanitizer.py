@@ -94,15 +94,19 @@ class TestDelayChecks:
             sim._schedule(event, delay=-1.0)
         assert [f.code for f in sim.findings] == ["SZ102"]
 
-    def test_plain_simulator_accepts_nan_silently(self):
-        """The hazard is real: the base engine lets NaN into the heap."""
+    def test_plain_simulator_also_rejects_nan(self):
+        """The base engine now rejects NaN itself (SchedulingError); the
+        sanitizer still reports SZ102 first, pinning the origin in its
+        findings even when the exception is caught upstream."""
+        from repro.errors import SchedulingError
         from repro.simkernel.engine import Simulator
 
         sim = Simulator()
         event = sim.event()
         event._ok, event._value = True, None
-        sim._schedule(event, delay=float("nan"))  # no exception: corrupted
-        assert len(sim._heap) == 1
+        with pytest.raises(SchedulingError):
+            sim._schedule(event, delay=float("nan"))
+        assert len(sim._heap) == 0
 
 
 # -- SZ103: scheduling after the run drained ---------------------------------

@@ -1,8 +1,14 @@
 """Tests for the experiments command-line interface."""
 
+import json
+
 import pytest
 
 from repro.experiments.cli import build_parser, main
+
+#: Keep CLI invocations from writing .sweep-cache/ or BENCH_sweeps.json
+#: into the repository while tests run.
+QUIET = ["--no-cache", "--no-bench"]
 
 
 def test_list_scenarios(capsys):
@@ -24,27 +30,28 @@ def test_unknown_scenario_raises():
 
 
 def test_run_small_scenario(capsys):
-    assert main(["fig4", "--seeds", "1"]) == 0
+    assert main(["fig4", "--seeds", "1", *QUIET]) == 0
     out = capsys.readouterr().out
     assert "nothing" in out and "swap-greedy" in out
     assert "seeds" in out
+    assert "cells computed" in out
 
 
 def test_chart_and_events_flags(capsys):
-    assert main(["fig4", "--seeds", "1", "--chart", "--events"]) == 0
+    assert main(["fig4", "--seeds", "1", "--chart", "--events", *QUIET]) == 0
     out = capsys.readouterr().out
     assert "o nothing" in out          # chart legend
     assert "[" in out                  # event-count cells
 
 
 def test_custom_baseline(capsys):
-    assert main(["fig4", "--seeds", "1", "--baseline", "dlb"]) == 0
+    assert main(["fig4", "--seeds", "1", "--baseline", "dlb", *QUIET]) == 0
     out = capsys.readouterr().out
     assert "of dlb" in out
 
 
 def test_missing_baseline_degrades_gracefully(capsys):
-    assert main(["fig4", "--seeds", "1", "--baseline", "ghost"]) == 0
+    assert main(["fig4", "--seeds", "1", "--baseline", "ghost", *QUIET]) == 0
 
 
 def test_parser_defaults():
@@ -52,14 +59,51 @@ def test_parser_defaults():
     assert args.scenario == "fig7"
     assert args.seeds is None
     assert args.baseline == "nothing"
+    assert args.jobs == 1
+    assert args.cache_dir == ".sweep-cache"
+    assert not args.no_cache
+    assert args.bench_json == "BENCH_sweeps.json"
+    assert not args.no_bench
+
+
+def test_jobs_flag_runs_parallel(capsys):
+    assert main(["fig4", "--seeds", "1", "--jobs", "2", *QUIET]) == 0
+    out = capsys.readouterr().out
+    assert "2 job(s)" in out
+
+
+def test_cache_and_bench_threading(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    bench = tmp_path / "bench.json"
+    argv = ["fig4", "--seeds", "1", "--cache-dir", str(cache),
+            "--bench-json", str(bench)]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "10/10 cells computed" in cold
+    record = json.loads(bench.read_text())["records"][0]
+    assert record["scenario"] == "fig4"
+    assert record["cells_computed"] == 10
+    for key in ("wall_time_s", "cache_hits", "events_per_sec"):
+        assert key in record
+
+    assert main(argv) == 0  # warm rerun: every cell from the cache
+    warm = capsys.readouterr().out
+    assert "0/10 cells computed" in warm
+    assert "10 cache hits" in warm
+    assert json.loads(bench.read_text())["records"][0]["cache_hits"] == 10
 
 
 def test_regenerate_all_writes_artifacts(tmp_path, capsys):
-    assert main(["all", "--seeds", "1", "--outdir", str(tmp_path)]) == 0
+    outdir = tmp_path / "figs"
+    assert main(["all", "--seeds", "1", "--outdir", str(outdir),
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
     out = capsys.readouterr().out
     assert "fig4" in out and "ext-contracts" in out
     for suffix in (".txt", ".svg", ".csv", ".json"):
-        assert (tmp_path / f"fig4{suffix}").exists()
+        assert (outdir / f"fig4{suffix}").exists()
     # The payback ablation has an infinite x value: no SVG, other files yes.
-    assert (tmp_path / "ablation-payback.txt").exists()
-    assert not (tmp_path / "ablation-payback.svg").exists()
+    assert (outdir / "ablation-payback.txt").exists()
+    assert not (outdir / "ablation-payback.svg").exists()
+    # One perf record per scenario, inside the output directory.
+    records = json.loads((outdir / "BENCH_sweeps.json").read_text())["records"]
+    assert any(r["scenario"] == "fig4" for r in records)

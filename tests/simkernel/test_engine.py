@@ -155,3 +155,42 @@ def test_failed_event_with_defuse_is_silent():
     event.defuse()
     sim.run()  # no raise
     assert not event.ok
+
+
+def test_nan_delay_rejected():
+    """NaN slips through every `<` comparison; the engine must reject it
+    before it corrupts heap ordering (the sanitizer's SZ102 hazard)."""
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.timeout(float("nan"))
+    assert sim.peek() == float("inf")  # nothing entered the heap
+
+
+def test_infinite_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.timeout(float("inf"))
+    with pytest.raises(SchedulingError):
+        sim.timeout(float("-inf"))
+
+
+def test_nan_delay_rejected_on_raw_schedule():
+    sim = Simulator()
+    event = sim.event()
+    event._ok, event._value = True, None
+    with pytest.raises(SchedulingError):
+        sim._schedule(event, delay=float("nan"))
+    assert len(sim._heap) == 0
+
+
+def test_events_processed_total_tracks_all_simulators():
+    from repro.simkernel.engine import events_processed_total
+
+    before = events_processed_total()
+    for _ in range(2):
+        sim = Simulator()
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run()
+        assert sim.processed_events == 2
+    assert events_processed_total() - before == 4
