@@ -1,0 +1,43 @@
+"""Overhead of the observability layer (repro.obs).
+
+Not a paper figure: these guard the acceptance criterion that tracing
+costs nothing when it is off.  With no active session the strategies'
+emit helpers reduce to one module-global read, and the kernel takes the
+``hooks is None`` fast path -- an uninstrumented sweep must therefore
+emit exactly zero records.  A traced run of the same sweep is timed
+alongside for the perf trajectory.
+"""
+
+from repro import obs
+from repro.experiments.executor import execute_sweep
+from repro.experiments.scenarios import get_scenario
+
+
+def test_disabled_tracing_emits_zero_events(benchmark):
+    """The hard guarantee: no session, no records, no counter bumps."""
+    spec = get_scenario("fig4")
+
+    def run():
+        before = obs.emitted_total()
+        execute_sweep(spec, seeds=1)
+        return obs.emitted_total() - before
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) == 0
+    assert obs.active() is None
+
+
+def test_traced_sweep_emits_and_stays_deterministic(benchmark):
+    """The instrumented counterpart: every cell contributes records."""
+    spec = get_scenario("fig4")
+
+    def run():
+        session = obs.ObsSession()
+        execute_sweep(spec, seeds=1, obs_session=session)
+        return session
+
+    session = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(session.trace) > 0
+    kinds = {r["kind"] for r in session.trace.records}
+    assert "decision" in kinds and "iteration" in kinds
+    counters = session.metrics.to_dict()["counters"]
+    assert counters["decision.epochs_total"] > 0

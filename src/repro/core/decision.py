@@ -39,6 +39,42 @@ class ReconfigurationCheck:
 
 
 @dataclass(frozen=True)
+class GateOutcome:
+    """One gate evaluation from a decision epoch (the audit trail).
+
+    Every proposal :func:`decide_swaps` considers leaves exactly one of
+    these, whether it was committed or not -- the observability layer
+    (:mod:`repro.obs`) serializes them so a trace shows *why* each epoch
+    swapped or declined.
+    """
+
+    out_host: int
+    in_host: int
+    gate: str
+    """Which gate settled the proposal: ``"process"`` (per-process
+    improvement threshold), ``"application"`` (the
+    :func:`evaluate_reconfiguration` gates), or ``"accepted"``."""
+    accepted: bool
+    reason: str
+    """Why the proposal was rejected ("" when accepted)."""
+    process_improvement: float
+    app_improvement: "float | None" = None
+    """Relative application gain (None when the process gate failed
+    first and the application-level gates never ran)."""
+    payback: "float | None" = None
+    """Payback distance in iterations (None, same as above)."""
+
+    def to_record(self) -> dict:
+        """A JSON-ready dict for trace emission."""
+        return {"out_host": self.out_host, "in_host": self.in_host,
+                "gate": self.gate, "accepted": self.accepted,
+                "reason": self.reason,
+                "process_improvement": self.process_improvement,
+                "app_improvement": self.app_improvement,
+                "payback": self.payback}
+
+
+@dataclass(frozen=True)
 class SwapMove:
     """One accepted processor exchange."""
 
@@ -64,7 +100,11 @@ class SwapDecision:
     new_iteration_time: float = 0.0
     """Predicted iteration time after applying all accepted moves."""
     rejected_reason: str = ""
-    """Gate that stopped the accumulation ("" if the spare pool ran out)."""
+    """The gate that ended the batch: the first rejection *after* the
+    last committed move ("" only if the spare pool ran out or the
+    per-decision cap was hit with every proposal accepted)."""
+    gates: "tuple[GateOutcome, ...]" = ()
+    """Every gate evaluation of the epoch, in proposal order."""
 
     @property
     def should_swap(self) -> bool:
@@ -174,9 +214,15 @@ def decide_swaps(active: "list[int]",
     # the paper's policies explicitly swap "the slowest active
     # processor(s) for the fastest inactive processor(s)" (plural).
     candidates: list[SwapMove] = []
+    gates: list[GateOutcome] = []
     committed = 0
     committed_iter = original_iter
 
+    # ``rejected_reason`` tracks the first rejection since the last
+    # *committed* move: that is the gate that stopped the accepted prefix
+    # from growing.  It resets on every acceptance, so when the epoch
+    # ends it either names the gate that ended the batch or stays ""
+    # (spare pool exhausted / per-decision cap with nothing rejected).
     while available:
         if (params.max_swaps_per_decision is not None
                 and len(candidates) >= params.max_swaps_per_decision):
@@ -187,15 +233,24 @@ def decide_swaps(active: "list[int]",
 
         process_improvement = rates[in_host] / rates[out_host] - 1.0
         if process_improvement <= 0.0:
+            reason = "fastest spare is no faster than slowest active"
+            gates.append(GateOutcome(
+                out_host=out_host, in_host=in_host, gate="process",
+                accepted=False, reason=reason,
+                process_improvement=process_improvement))
             if not rejected_reason:
-                rejected_reason = ("fastest spare is no faster than "
-                                   "slowest active")
+                rejected_reason = reason
             break
         if process_improvement < params.min_process_improvement:
+            reason = (
+                f"process improvement {process_improvement:.2%} below "
+                f"threshold {params.min_process_improvement:.2%}")
+            gates.append(GateOutcome(
+                out_host=out_host, in_host=in_host, gate="process",
+                accepted=False, reason=reason,
+                process_improvement=process_improvement))
             if not rejected_reason:
-                rejected_reason = (
-                    f"process improvement {process_improvement:.2%} below "
-                    f"threshold {params.min_process_improvement:.2%}")
+                rejected_reason = reason
             break
 
         current[current.index(out_host)] = in_host
@@ -209,14 +264,21 @@ def decide_swaps(active: "list[int]",
                                    process_improvement=process_improvement,
                                    app_improvement=check.app_improvement,
                                    payback=check.payback))
+        gates.append(GateOutcome(
+            out_host=out_host, in_host=in_host,
+            gate="accepted" if check.accepted else "application",
+            accepted=check.accepted, reason=check.reason,
+            process_improvement=process_improvement,
+            app_improvement=check.app_improvement, payback=check.payback))
         if check.accepted:
             committed = len(candidates)
             committed_iter = new_iter
             rejected_reason = ""
-        elif committed == 0 and not rejected_reason:
+        elif not rejected_reason:
             rejected_reason = check.reason
 
     return SwapDecision(moves=tuple(candidates[:committed]),
                         old_iteration_time=original_iter,
                         new_iteration_time=committed_iter,
-                        rejected_reason=rejected_reason)
+                        rejected_reason=rejected_reason,
+                        gates=tuple(gates))

@@ -23,7 +23,16 @@ gives 4/3.
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import PolicyError
+
+#: Relative tolerance under which two performances count as *equal* (the
+#: paper's "+inf, never recouped" case).  Without it, near-identical
+#: performances make ``1 - old/new`` underflow to a denormal or ``-0.0``
+#: and the quotient explodes to a huge-but-finite (or sign-flipped)
+#: distance that the payback gate then misreads.
+EQUAL_PERFORMANCE_RTOL = 1e-12
 
 
 def swap_time(process_size: float, latency: float, bandwidth: float) -> float:
@@ -74,8 +83,11 @@ def payback_distance(swap_cost: float, old_iteration_time: float,
         raise PolicyError(f"iteration time must be > 0, got {old_iteration_time}")
     if old_performance <= 0 or new_performance <= 0:
         raise PolicyError("performance metrics must be > 0")
+    if math.isclose(old_performance, new_performance,
+                    rel_tol=EQUAL_PERFORMANCE_RTOL, abs_tol=0.0):
+        return float("inf")
     denominator = old_iteration_time * (1.0 - old_performance / new_performance)
-    if denominator == 0.0:
+    if denominator == 0.0:  # covers +0.0 and -0.0 from underflow
         return float("inf")
     return swap_cost / denominator
 

@@ -54,3 +54,7 @@ class StrategyError(ReproError):
 
 class ExperimentError(ReproError):
     """Invalid experiment configuration."""
+
+
+class ObservabilityError(ReproError):
+    """Invalid trace record, metric operation, or export (:mod:`repro.obs`)."""

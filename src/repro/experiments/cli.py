@@ -56,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "written inside --outdir)")
     parser.add_argument("--no-bench", action="store_true",
                         help="do not write the perf record")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a deterministic decision/event trace "
+                             "of the run (see docs/OBSERVABILITY.md)")
+    parser.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                        default="jsonl",
+                        help="trace format: 'jsonl' structured log "
+                             "(default) or 'chrome' trace-event JSON for "
+                             "chrome://tracing")
+    parser.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="write the merged counters/gauges/histograms "
+                             "registry as JSON")
     parser.add_argument("--chart", action="store_true",
                         help="also draw an ASCII chart")
     parser.add_argument("--events", action="store_true",
@@ -92,8 +103,9 @@ def main(argv: "list[str] | None" = None) -> int:
 
     spec = get_scenario(args.scenario)
     cache_dir = None if args.no_cache else args.cache_dir
+    session = _make_session(args)
     result, timing = execute_sweep(spec, seeds=args.seeds, jobs=args.jobs,
-                                   cache_dir=cache_dir)
+                                   cache_dir=cache_dir, obs_session=session)
 
     baseline = args.baseline if args.baseline in result.series else None
     print(format_table(result, baseline=baseline, show_events=args.events))
@@ -113,6 +125,7 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.experiments.svgplot import write_svg
         write_svg(result, args.svg)
         print(f"wrote {args.svg}")
+    _write_obs(args, session)
     if not args.no_bench:
         append_bench_record(args.bench_json, timing)
         print(f"\nwrote perf record to {args.bench_json}")
@@ -121,6 +134,31 @@ def main(argv: "list[str] | None" = None) -> int:
           f"{timing.cells_total} cells computed, {timing.cache_hits} "
           f"cache hits, {timing.events_per_sec:.0f} events/s]")
     return 0
+
+
+def _make_session(args):
+    """An ObsSession when --trace/--metrics-json asked for one, else None."""
+    if args.trace is None and args.metrics_json is None:
+        return None
+    from repro import obs
+
+    return obs.ObsSession()
+
+
+def _write_obs(args, session) -> None:
+    """Write the trace and metrics files a session collected."""
+    if session is None:
+        return
+    if args.trace is not None:
+        if args.trace_format == "chrome":
+            session.trace.write_chrome(args.trace)
+        else:
+            session.trace.write_jsonl(args.trace)
+        print(f"wrote {len(session.trace)} trace records "
+              f"({args.trace_format}) to {args.trace}")
+    if args.metrics_json is not None:
+        session.metrics.write_json(args.metrics_json)
+        print(f"wrote metrics registry to {args.metrics_json}")
 
 
 def regenerate_all(args) -> int:
@@ -133,9 +171,11 @@ def regenerate_all(args) -> int:
     outdir.mkdir(parents=True, exist_ok=True)
     cache_dir = None if args.no_cache else args.cache_dir
     bench_path = outdir / "BENCH_sweeps.json"
+    session = _make_session(args)
     for name, spec in sorted(ALL_SCENARIOS.items()):
         result, timing = execute_sweep(spec, seeds=args.seeds,
-                                       jobs=args.jobs, cache_dir=cache_dir)
+                                       jobs=args.jobs, cache_dir=cache_dir,
+                                       obs_session=session)
         baseline = "nothing" if "nothing" in result.series else None
         (outdir / f"{name}.txt").write_text(
             format_table(result, baseline=baseline) + "\n")
@@ -149,6 +189,7 @@ def regenerate_all(args) -> int:
               f"{len(result.seeds)} seeds in {timing.wall_time:5.2f}s "
               f"({timing.cells_computed} cells, {timing.cache_hits} cache "
               f"hits) -> {outdir}/{name}.{{txt,svg,csv,json}}")
+    _write_obs(args, session)
     if not args.no_bench:
         print(f"wrote perf records to {bench_path}")
     return 0

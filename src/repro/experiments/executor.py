@@ -35,13 +35,14 @@ import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from hashlib import sha256
 from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro._version import __version__
 from repro.errors import ExperimentError
 from repro.experiments.runner import SeriesStats, SweepResult
@@ -50,7 +51,8 @@ from repro.simkernel import engine as _engine
 from repro.strategies.base import ExecutionResult
 
 #: Cell payload schema version; bump to invalidate every cached entry.
-CACHE_FORMAT = 1
+#: (2: cells carry observability payloads -- trace records + metrics.)
+CACHE_FORMAT = 2
 
 
 # -- one cell ---------------------------------------------------------------
@@ -70,13 +72,21 @@ class CellResult:
     engine_events: int
     """Kernel events processed while computing the cell (0 for the purely
     analytic iteration-level simulators)."""
+    trace_events: "list[dict]" = field(default_factory=list)
+    """Structured :mod:`repro.obs` records, in execution order (empty
+    unless the cell was computed with ``instrument=True``)."""
+    metrics: dict = field(default_factory=dict)
+    """The cell's :meth:`~repro.obs.MetricsRegistry.to_dict` payload
+    (empty unless instrumented)."""
 
     def to_payload(self) -> dict:
         return {"labels": list(self.labels),
                 "makespans": dict(self.makespans),
                 "events": dict(self.events),
                 "iterations": int(self.iterations),
-                "engine_events": int(self.engine_events)}
+                "engine_events": int(self.engine_events),
+                "trace_events": list(self.trace_events),
+                "metrics": dict(self.metrics)}
 
     @classmethod
     def from_payload(cls, payload: dict) -> "CellResult":
@@ -87,12 +97,22 @@ class CellResult:
             raise ValueError("cell payload labels disagree with its series")
         return cls(labels=labels, makespans=makespans, events=events,
                    iterations=int(payload["iterations"]),
-                   engine_events=int(payload["engine_events"]))
+                   engine_events=int(payload["engine_events"]),
+                   trace_events=list(payload.get("trace_events", [])),
+                   metrics=dict(payload.get("metrics", {})))
 
 
-def compute_cell(spec: ExperimentSpec, x: float, seed: int) -> CellResult:
+def compute_cell(spec: ExperimentSpec, x: float, seed: int, *,
+                 instrument: bool = False) -> CellResult:
     """Run every variant of one cell (the serial reference, and the
-    function worker processes execute)."""
+    function worker processes execute).
+
+    With ``instrument=True`` the cell runs under its own
+    :class:`~repro.obs.ObsSession`: every record is stamped with the
+    cell's coordinates and variant label, and the session's records and
+    metrics ride back in the :class:`CellResult` (picklable, cacheable),
+    so the executor can merge them deterministically in grid order.
+    """
     events_before = _engine.events_processed_total()
     platform, variants = spec.build(x, seed)
     labels = [label for label, _app, _strategy in variants]
@@ -102,30 +122,46 @@ def compute_cell(spec: ExperimentSpec, x: float, seed: int) -> CellResult:
     makespans: "dict[str, float]" = {}
     events: "dict[str, float]" = {}
     iterations = 0
+    session = obs.ObsSession() if instrument else None
     for label, app, strategy in variants:
-        result: ExecutionResult = strategy.run(platform, app)
+        if session is not None:
+            session.trace.set_context(scenario=spec.name, x=float(x),
+                                      seed=int(seed), series=label)
+            with obs.observing(session):
+                result: ExecutionResult = strategy.run(platform, app)
+        else:
+            result = strategy.run(platform, app)
         makespans[label] = result.makespan
         events[label] = float(result.swap_count + result.restart_count)
         iterations += result.iteration_count
     return CellResult(labels=labels, makespans=makespans, events=events,
                       iterations=iterations,
                       engine_events=(_engine.events_processed_total()
-                                     - events_before))
+                                     - events_before),
+                      trace_events=(session.trace.records
+                                    if session is not None else []),
+                      metrics=(session.metrics.to_dict()
+                               if session is not None else {}))
 
 
 # -- content addressing -----------------------------------------------------
 
 
-def cell_digest(scenario: str, fingerprint: str, x: float, seed: int) -> str:
+def cell_digest(scenario: str, fingerprint: str, x: float, seed: int, *,
+                instrumented: bool = False) -> str:
     """The cache key of one cell.
 
     ``repr(float(x))`` is the shortest round-tripping spelling, so the key
     is stable across processes and handles non-finite grids (``inf`` in
-    the payback ablation).
+    the payback ablation).  Instrumented cells carry trace/metrics
+    payloads that plain cells lack, so the flag participates in the key --
+    a traced run never "hits" an untraced entry (which would silently
+    drop its records) and vice versa.
     """
     hasher = sha256()
     for part in (scenario, fingerprint, repr(float(x)), str(int(seed)),
-                 __version__, str(CACHE_FORMAT)):
+                 __version__, str(CACHE_FORMAT),
+                 "obs" if instrumented else ""):
         hasher.update(part.encode("utf-8"))
         hasher.update(b"\x00")
     return hasher.hexdigest()
@@ -308,6 +344,7 @@ def execute_sweep(spec: ExperimentSpec,
                   jobs: int = 1,
                   cache_dir: "str | os.PathLike | None" = None,
                   on_point: "Callable[[float, int], None] | None" = None,
+                  obs_session: "obs.ObsSession | None" = None,
                   ) -> "tuple[SweepResult, SweepTiming]":
     """Run a sweep over its ``(x, seed)`` cells and merge deterministically.
 
@@ -329,6 +366,12 @@ def execute_sweep(spec: ExperimentSpec,
     on_point:
         Progress callback invoked as ``on_point(x, seed)`` once per cell
         (including cache hits), in grid order, before any cell executes.
+    obs_session:
+        Observation sink (:class:`repro.obs.ObsSession`), or None (the
+        default: zero instrumentation).  When given, every cell runs
+        instrumented and its trace records / metrics are folded into the
+        session **in grid order**, so the merged trace and registry are
+        byte-identical for any ``jobs`` / cache configuration.
 
     Returns
     -------
@@ -339,6 +382,7 @@ def execute_sweep(spec: ExperimentSpec,
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
     seed_list = _normalize_seeds(spec, seeds)
+    instrument = obs_session is not None
     started = time.perf_counter()  # simlint: disable=SL001 (perf record of the host run, not simulated time)
 
     coords = [(xi, x, si, seed)
@@ -355,7 +399,8 @@ def execute_sweep(spec: ExperimentSpec,
             on_point(x, seed)
         digest = ""
         if cache is not None:
-            digest = cell_digest(spec.name, fingerprint, x, seed)
+            digest = cell_digest(spec.name, fingerprint, x, seed,
+                                 instrumented=instrument)
             cached = cache.load(digest)
             if cached is not None:
                 cells[(xi, si)] = cached
@@ -364,15 +409,15 @@ def execute_sweep(spec: ExperimentSpec,
 
     if pending and jobs == 1:
         for xi, si, x, seed, digest in pending:
-            cell = compute_cell(spec, x, seed)
+            cell = compute_cell(spec, x, seed, instrument=instrument)
             cells[(xi, si)] = cell
             if cache is not None:
                 cache.store(digest, cell, scenario=spec.name, x=x, seed=seed)
     elif pending:
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = {
-                pool.submit(compute_cell, spec, x, seed): (xi, si, x, seed,
-                                                           digest)
+                pool.submit(compute_cell, spec, x, seed,
+                            instrument=instrument): (xi, si, x, seed, digest)
                 for xi, si, x, seed, digest in pending}
             for future in as_completed(futures):
                 xi, si, x, seed, digest = futures[future]
@@ -383,6 +428,14 @@ def execute_sweep(spec: ExperimentSpec,
                                 seed=seed)
 
     result = merge_cells(spec, seed_list, cells)
+    if obs_session is not None:
+        # Grid order, exactly like merge_cells: completion order and
+        # cache state cannot reorder the merged trace.
+        for xi, _x in enumerate(spec.x_values):
+            for si, _seed in enumerate(seed_list):
+                cell = cells[(xi, si)]
+                obs_session.trace.extend(cell.trace_events)
+                obs_session.metrics.merge_dict(cell.metrics)
     wall = time.perf_counter() - started  # simlint: disable=SL001 (perf record of the host run, not simulated time)
     computed = [cells[(xi, si)] for xi, si, _x, _seed, _d in pending]
     timing = SweepTiming(

@@ -134,6 +134,7 @@ def run_sweep(spec: ExperimentSpec,
               *,
               jobs: int = 1,
               cache_dir=None,
+              obs_session=None,
               ) -> SweepResult:
     """Run a full sweep and aggregate makespans per (x, series).
 
@@ -158,9 +159,14 @@ def run_sweep(spec: ExperimentSpec,
     cache_dir:
         Root directory of the content-addressed cell cache, or None (the
         default) to disable caching.
+    obs_session:
+        Optional :class:`repro.obs.ObsSession` that receives the run's
+        trace records and metrics, merged in grid order (see
+        docs/OBSERVABILITY.md).
     """
     from repro.experiments.executor import execute_sweep
 
     result, _timing = execute_sweep(spec, seeds=seeds, jobs=jobs,
-                                    cache_dir=cache_dir, on_point=on_point)
+                                    cache_dir=cache_dir, on_point=on_point,
+                                    obs_session=obs_session)
     return result

@@ -1,0 +1,66 @@
+"""Kernel hook API: observe the simulator without touching its hot path.
+
+:class:`SimHooks` is the interface the :class:`~repro.simkernel.engine.
+Simulator` calls at its four instrumentation points.  The engine holds a
+``hooks`` attribute that defaults to ``None``; the entire cost of a
+disabled trace is one ``is not None`` check per scheduling operation, and
+no hook object ever exists unless an observation session asked for one.
+
+Hook callbacks receive plain values (times, sequence numbers, names) --
+never event objects -- so implementations cannot accidentally retain or
+mutate kernel state, and the emitted records are picklable and
+byte-stable (sequence numbers are per-simulator and deterministic,
+unlike ``id()``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import ObsSession
+
+
+class SimHooks:
+    """No-op base class; subclass and override what you need."""
+
+    def event_scheduled(self, now: float, when: float, priority: int,
+                        seq: int, event_type: str) -> None:
+        """An event was pushed onto the heap for time ``when``."""
+
+    def event_fired(self, when: float, seq: int, event_type: str) -> None:
+        """The event scheduled as ``seq`` was popped and processed."""
+
+    def process_started(self, now: float, name: str) -> None:
+        """A coroutine process was created."""
+
+    def process_ended(self, now: float, name: str, ok: bool) -> None:
+        """A coroutine process terminated (``ok=False``: with an error)."""
+
+
+class TraceHooks(SimHooks):
+    """Emit kernel records and counters into an observation session."""
+
+    def __init__(self, session: "ObsSession") -> None:
+        self.session = session
+
+    def event_scheduled(self, now: float, when: float, priority: int,
+                        seq: int, event_type: str) -> None:
+        self.session.trace.emit("kernel.event_scheduled", now, when=when,
+                                priority=priority, seq=seq,
+                                event_type=event_type)
+        self.session.metrics.counter("kernel.events_scheduled_total").inc()
+
+    def event_fired(self, when: float, seq: int, event_type: str) -> None:
+        self.session.trace.emit("kernel.event_fired", when, seq=seq,
+                                event_type=event_type)
+        self.session.metrics.counter("kernel.events_fired_total").inc()
+
+    def process_started(self, now: float, name: str) -> None:
+        self.session.trace.emit("kernel.process_started", now, process=name)
+        self.session.metrics.counter("kernel.processes_started_total").inc()
+
+    def process_ended(self, now: float, name: str, ok: bool) -> None:
+        self.session.trace.emit("kernel.process_ended", now, process=name,
+                                ok=ok)
+        self.session.metrics.counter("kernel.processes_ended_total").inc()

@@ -1,0 +1,156 @@
+"""Deterministic run traces: structured records, JSONL, Chrome trace JSON.
+
+A :class:`TraceRecorder` accumulates plain-dict records in execution
+order.  Every timestamp is *simulated* time, never wall clock, so two
+identically-seeded runs produce byte-identical exports regardless of host
+speed, worker count, or cache state (the executor merges per-cell records
+in grid order; see :mod:`repro.experiments.executor`).
+
+Two export formats:
+
+* **JSONL** -- one compact, key-sorted JSON object per record.  The
+  canonical machine-readable decision log; byte-stable by construction.
+* **Chrome trace-event JSON** -- loadable in ``chrome://tracing`` (or
+  https://ui.perfetto.dev).  Records with ``start``/``end`` fields become
+  complete ("X") slices; everything else becomes an instant event.  Rows
+  are grouped by cell (pid) and series (tid), with metadata name events
+  so the UI shows human-readable labels.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Iterable
+
+from repro.errors import ObservabilityError
+
+#: Seconds -> Chrome trace microseconds (the trace-event format's unit).
+_US = 1e6  # simlint: disable=SL005 (unit conversion factor, not a byte/flop quantity)
+
+
+def jsonable(value: Any) -> Any:
+    """Map a record value to something JSON can round-trip exactly.
+
+    Non-finite floats are spelled as the strings ``"inf"``, ``"-inf"``
+    and ``"nan"`` (strict JSON has no literal for them); containers are
+    converted recursively; mapping keys become strings.
+    """
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    raise ObservabilityError(f"cannot serialize trace value {value!r}")
+
+
+class TraceRecorder:
+    """Append-only store of structured trace records.
+
+    ``context`` holds fields stamped onto every subsequent record (the
+    executor sets ``scenario``/``x``/``seed``/``series`` per variant so
+    strategies never need to know where they run).
+    """
+
+    def __init__(self) -> None:
+        self.records: "list[dict]" = []
+        self.context: "dict[str, Any]" = {}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def set_context(self, **fields: Any) -> None:
+        """Replace the ambient fields merged into every record."""
+        self.context = {k: jsonable(v) for k, v in fields.items()}
+
+    def emit(self, kind: str, t: float, **fields: Any) -> None:
+        """Record one event of ``kind`` at simulated time ``t``."""
+        record = {"kind": str(kind), "t": jsonable(float(t))}
+        record.update(self.context)
+        for key, value in fields.items():
+            record[key] = jsonable(value)
+        self.records.append(record)
+
+    def extend(self, records: "Iterable[dict]") -> None:
+        """Append pre-built records (already jsonable dicts) verbatim."""
+        self.records.extend(records)
+
+    # -- exports ---------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One key-sorted compact JSON object per line (byte-stable)."""
+        lines = [json.dumps(r, sort_keys=True, separators=(",", ":"))
+                 for r in self.records]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.to_jsonl())
+
+    def to_chrome(self) -> dict:
+        """The records as a Chrome trace-event document.
+
+        Deterministic: pids/tids are assigned in order of first
+        appearance, which is itself deterministic because the record list
+        is.
+        """
+        events: "list[dict]" = []
+        pids: "dict[str, int]" = {}
+        tids: "dict[tuple[str, str], int]" = {}
+        for record in self.records:
+            cell = (f"{record.get('scenario', 'run')}"
+                    f" x={record.get('x', '-')} seed={record.get('seed', '-')}")
+            series = str(record.get("series", record.get("source", "trace")))
+            if cell not in pids:
+                pids[cell] = len(pids)
+                events.append({"ph": "M", "name": "process_name",
+                               "pid": pids[cell], "tid": 0, "ts": 0,
+                               "args": {"name": cell}})
+            pid = pids[cell]
+            if (cell, series) not in tids:
+                tids[(cell, series)] = len(tids)
+                events.append({"ph": "M", "name": "thread_name",
+                               "pid": pid, "tid": tids[(cell, series)],
+                               "ts": 0, "args": {"name": series}})
+            tid = tids[(cell, series)]
+            args = {k: v for k, v in record.items()
+                    if k not in ("kind", "t", "start", "end",
+                                 "scenario", "x", "seed", "series")}
+            name = record["kind"]
+            if "iteration" in record:
+                name = f"{record['kind']} {record['iteration']}"
+            start = record.get("start")
+            end = record.get("end")
+            if (isinstance(start, (int, float))
+                    and isinstance(end, (int, float))):
+                events.append({"ph": "X", "name": name,
+                               "cat": record["kind"], "pid": pid, "tid": tid,
+                               "ts": start * _US,
+                               "dur": (end - start) * _US, "args": args})
+            else:
+                events.append({"ph": "i", "s": "t", "name": name,
+                               "cat": record["kind"], "pid": pid, "tid": tid,
+                               "ts": record["t"] * _US, "args": args})
+        return {"traceEvents": events, "displayTimeUnit": "ms",
+                "otherData": {"tool": "repro.obs",
+                              "clock": "simulated-seconds"}}
+
+    def to_chrome_json(self) -> str:
+        return json.dumps(self.to_chrome(), sort_keys=True,
+                          separators=(",", ":")) + "\n"
+
+    def write_chrome(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.to_chrome_json())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TraceRecorder {len(self.records)} records>"

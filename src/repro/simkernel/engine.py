@@ -9,11 +9,14 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.errors import SchedulingError, SimulationError
 from repro.simkernel.events import NORMAL, Event, Timeout
 from repro.simkernel.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.hooks import SimHooks
 
 # The event loop is the innermost loop of every simulation; bind the heap
 # primitives once so `step`/`_schedule` skip the module-attribute lookups.
@@ -49,12 +52,16 @@ class Simulator:
     (3.0, 'done')
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0,
+                 hooks: "SimHooks | None" = None) -> None:
         self._now = float(start_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = count()
         #: Number of events processed so far (diagnostic).
         self.processed_events = 0
+        #: Observation hooks (:class:`repro.obs.hooks.SimHooks`), or None.
+        #: The disabled cost is one ``is not None`` check per operation.
+        self.hooks = hooks
 
     # -- clock ----------------------------------------------------------
 
@@ -80,7 +87,11 @@ class Simulator:
         if event._scheduled:
             raise SchedulingError(f"{event!r} is already scheduled")
         event._scheduled = True
-        _heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+        seq = next(self._seq)
+        _heappush(self._heap, (self._now + delay, priority, seq, event))
+        if self.hooks is not None:
+            self.hooks.event_scheduled(self._now, self._now + delay,
+                                       priority, seq, type(event).__name__)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -91,10 +102,12 @@ class Simulator:
         heap = self._heap
         if not heap:
             raise SimulationError("no more events to process")
-        when, _prio, _seq, event = _heappop(heap)
+        when, _prio, seq, event = _heappop(heap)
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("event scheduled in the past")
         self._now = when
+        if self.hooks is not None:
+            self.hooks.event_fired(when, seq, type(event).__name__)
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None
         for callback in callbacks:

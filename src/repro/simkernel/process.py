@@ -60,11 +60,25 @@ class Process(Event):
         #: The event this process currently waits on (None before start /
         #: after termination).
         self._target: Event | None = _Initialize(sim, self)
+        if sim.hooks is not None:
+            sim.hooks.process_started(sim.now, self.name)
 
     @property
     def is_alive(self) -> bool:
         """Whether the generator has not yet terminated."""
         return self._value is Event._PENDING
+
+    def succeed(self, value: Any = None) -> "Event":
+        super().succeed(value)
+        if self.sim.hooks is not None:
+            self.sim.hooks.process_ended(self.sim.now, self.name, True)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        super().fail(exception)
+        if self.sim.hooks is not None:
+            self.sim.hooks.process_ended(self.sim.now, self.name, False)
+        return self
 
     def interrupt(self, cause: Any = None) -> None:
         """Raise :class:`Interrupt(cause)` inside the process.

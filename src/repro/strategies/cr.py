@@ -17,6 +17,7 @@ pool.  It pays for that freedom with a much larger reconfiguration cost
 
 from __future__ import annotations
 
+from repro import obs
 from repro.app.iterative import ApplicationSpec
 from repro.core.decision import evaluate_reconfiguration
 from repro.core.policy import PolicyParams, greedy_policy
@@ -63,6 +64,10 @@ class CrStrategy(Strategy):
                                                        comm_time)
             t = iter_end
             result.progress.record(t, i, "iteration")
+            obs.emit("iteration", iter_end, source=self.name, iteration=i,
+                     start=iter_start, end=iter_end,
+                     compute_end=compute_end, active=ran_on)
+            obs.count("strategy.iterations_total")
 
             overhead = 0.0
             event = ""
@@ -76,6 +81,10 @@ class CrStrategy(Strategy):
                     new_iter = max(chunk / rates[h] for h in candidate) + comm_time
                     check = evaluate_reconfiguration(old_iter, new_iter, cost,
                                                      self.policy)
+                    obs.emit_check(t, source=self.name, iteration=i,
+                                   policy=self.policy.name, check=check,
+                                   cost=cost, active=active,
+                                   candidate=candidate)
                     if check.accepted:
                         overhead = cost
                         event = "checkpoint"
@@ -84,6 +93,10 @@ class CrStrategy(Strategy):
                         result.overhead_time += overhead
                         t += overhead
                         result.progress.record(t, i, "checkpoint")
+                        obs.emit("checkpoint", t, source=self.name,
+                                 iteration=i, new_active=active,
+                                 cost=cost, start=iter_end, end=t)
+                        obs.count("cr.restarts_total")
 
             result.records.append(IterationRecord(
                 index=i, start=iter_start, compute_end=compute_end,

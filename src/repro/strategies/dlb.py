@@ -15,6 +15,7 @@ behaviour behind DLB's poor showing in dynamic environments (Fig. 4).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.app.iterative import ApplicationSpec
 from repro.platform.cluster import Platform
 from repro.strategies.base import ExecutionResult, IterationRecord, Strategy
@@ -49,11 +50,20 @@ class DlbStrategy(Strategy):
             rates = self.predicted_rates(platform, t, self.measurement_window,
                                          indices=active)
             chunks = app.proportional_chunks(rates)
+            if obs.active() is not None:
+                obs.emit("rebalance", t, source=self.name, iteration=i,
+                         chunks={str(h): chunks[h] for h in active},
+                         rates={str(h): rates[h] for h in active})
+                obs.count("dlb.rebalances_total")
             compute_end, iter_end = self.run_iteration(platform, chunks, t,
                                                        comm_time)
             result.records.append(IterationRecord(
                 index=i, start=t, compute_end=compute_end, end=iter_end,
                 active=tuple(active)))
+            obs.emit("iteration", iter_end, source=self.name, iteration=i,
+                     start=t, end=iter_end, compute_end=compute_end,
+                     active=tuple(active))
+            obs.count("strategy.iterations_total")
             t = iter_end
             result.progress.record(t, i, "iteration")
 

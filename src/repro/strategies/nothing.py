@@ -6,6 +6,7 @@ data equally, and run every iteration on them regardless of external load.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.app.iterative import ApplicationSpec
 from repro.platform.cluster import Platform
 from repro.strategies.base import ExecutionResult, IterationRecord, Strategy
@@ -35,6 +36,10 @@ class NothingStrategy(Strategy):
             result.records.append(IterationRecord(
                 index=i, start=t, compute_end=compute_end, end=iter_end,
                 active=tuple(active)))
+            obs.emit("iteration", iter_end, source=self.name, iteration=i,
+                     start=t, end=iter_end, compute_end=compute_end,
+                     active=tuple(active))
+            obs.count("strategy.iterations_total")
             t = iter_end
             result.progress.record(t, i, "iteration")
 

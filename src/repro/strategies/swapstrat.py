@@ -12,6 +12,7 @@ the outgoing process's chunk unchanged).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.app.iterative import ApplicationSpec
 from repro.core.decision import decide_swaps
 from repro.core.policy import PolicyParams, greedy_policy
@@ -51,6 +52,10 @@ class SwapStrategy(Strategy):
                                                        comm_time)
             t = iter_end
             result.progress.record(t, i, "iteration")
+            obs.emit("iteration", iter_end, source=self.name, iteration=i,
+                     start=iter_start, end=iter_end,
+                     compute_end=compute_end, active=ran_on)
+            obs.count("strategy.iterations_total")
 
             overhead = 0.0
             event = ""
@@ -60,6 +65,11 @@ class SwapStrategy(Strategy):
                                              self.policy.history_window)
                 decision = decide_swaps(active, spares, rates, chunks,
                                         comm_time, swap_cost_one, self.policy)
+                if obs.active() is not None:
+                    obs.emit_decision(t, source=self.name, iteration=i,
+                                      policy=self.policy.name,
+                                      decision=decision,
+                                      active=active, spares=spares)
                 if decision.should_swap:
                     n_moves = len(decision.moves)
                     # Transfers of all swapped state images serialize on
@@ -75,6 +85,14 @@ class SwapStrategy(Strategy):
                     result.overhead_time += overhead
                     t += overhead
                     result.progress.record(t, i, "swap", detail)
+                    for move in decision.moves:
+                        obs.emit("swap", t, source=self.name, iteration=i,
+                                 out_host=move.out_host,
+                                 in_host=move.in_host,
+                                 process_improvement=move.process_improvement,
+                                 app_improvement=move.app_improvement,
+                                 payback=move.payback,
+                                 start=iter_end, end=t)
 
             result.records.append(IterationRecord(
                 index=i, start=iter_start, compute_end=compute_end,

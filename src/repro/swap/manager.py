@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator
 
+from repro import obs
 from repro.core.decision import decide_swaps
 from repro.core.history import PerformanceMonitor
 from repro.errors import SwapError
@@ -90,6 +91,11 @@ def manager_loop(runtime: "SwapRuntime", api: "Rank") -> Generator:
             decision = decide_swaps(active, spares, rates, chunks,
                                     comm_time=runtime.comm_time_estimate,
                                     swap_cost=swap_cost, params=policy)
+            if obs.active() is not None:
+                obs.emit_decision(api.now, source="swap-manager",
+                                  iteration=iteration, policy=policy.name,
+                                  decision=decision, active=active,
+                                  spares=spares)
             moves = decision.moves
             if moves:
                 new_active = tuple(decision.active_set_after(active))
@@ -122,6 +128,12 @@ def manager_loop(runtime: "SwapRuntime", api: "Rank") -> Generator:
             stats.swaps.append(SwapEvent(time=api.now, iteration=iteration,
                                          out_rank=move.out_host,
                                          in_rank=move.in_host))
+            obs.emit("swap", api.now, source="swap-manager",
+                     iteration=iteration, out_host=move.out_host,
+                     in_host=move.in_host,
+                     process_improvement=move.process_improvement,
+                     app_improvement=move.app_improvement,
+                     payback=move.payback)
             spares.remove(move.in_host)
             spares.append(move.out_host)
         active = list(new_active)

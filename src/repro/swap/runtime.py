@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
+from repro import obs
 from repro.core.policy import PolicyParams, greedy_policy
 from repro.errors import SwapError
 from repro.load.base import ConstantLoadModel
@@ -80,7 +81,10 @@ class SwapRuntime:
         #: manager's cross-host rate forecasts instead of the policy's
         #: fixed history window.
         self.use_nws_bank = bool(use_nws_bank)
-        self.sim = sim or Simulator()
+        # Under an active observation session the kernel gets trace hooks
+        # (event scheduled/fired, process start/stop); otherwise the
+        # simulator stays unhooked and pays nothing.
+        self.sim = sim or Simulator(hooks=obs.kernel_hooks())
 
         # The manager gets a dedicated unloaded host (it is "possibly
         # remote" and does negligible compute).

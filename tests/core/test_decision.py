@@ -205,6 +205,106 @@ def test_input_validation():
                      params=greedy_policy())
 
 
+# -- rejected_reason / gate trail -------------------------------------------------
+
+def test_rejection_after_committed_prefix_keeps_its_reason():
+    """Regression: a rejection that follows an accepted move used to be
+    reported as "" because acceptance reset the reason and the restore
+    path only ran when nothing had been committed yet."""
+    rates = {0: 100.0, 1: 50.0, 2: 200.0, 3: 40.0}
+    decision = decide_swaps(active=[0, 1], spares=[2, 3], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 1000.0),
+                            comm_time=0.0, swap_cost=1.0,
+                            params=greedy_policy())
+    assert [(m.out_host, m.in_host) for m in decision.moves] == [(1, 2)]
+    assert "no faster" in decision.rejected_reason
+
+
+def test_rejected_reason_process_threshold_after_commit():
+    params = greedy_policy().with_overrides(min_process_improvement=0.5)
+    rates = {0: 100.0, 1: 50.0, 2: 200.0, 3: 120.0}
+    decision = decide_swaps(active=[0, 1], spares=[2, 3], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 1000.0),
+                            comm_time=0.0, swap_cost=1.0, params=params)
+    assert len(decision.moves) == 1
+    assert "process improvement" in decision.rejected_reason
+    assert "below" in decision.rejected_reason
+
+
+def test_rejected_reason_payback_after_commit():
+    # First swap saves 10 s for a cost of 9 s (payback 0.9); the second
+    # brings cumulative cost to 18 s against 10.9 s saved (payback 1.65).
+    params = PolicyParams(name="x", payback_threshold=1.0)
+    rates = {0: 100.0, 1: 50.0, 2: 200.0, 3: 110.0}
+    decision = decide_swaps(active=[0, 1], spares=[2, 3], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 1000.0),
+                            comm_time=0.0, swap_cost=9.0, params=params)
+    assert [(m.out_host, m.in_host) for m in decision.moves] == [(1, 2)]
+    assert "payback" in decision.rejected_reason
+
+
+def test_rejected_reason_app_threshold_on_first_proposal():
+    rates = {0: 100.0, 1: 99.0, 2: 100.5}
+    decision = decide_swaps(active=[0, 1], spares=[2], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 1000.0),
+                            comm_time=0.0, swap_cost=0.001,
+                            params=friendly_policy())
+    assert not decision.should_swap
+    assert "application improvement" in decision.rejected_reason
+    assert "below" in decision.rejected_reason
+
+
+def test_rejected_reason_empty_when_spares_run_out_accepted():
+    rates = {0: 100.0, 1: 50.0, 2: 200.0}
+    decision = decide_swaps(active=[0, 1], spares=[2], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 1000.0),
+                            comm_time=0.0, swap_cost=1.0,
+                            params=greedy_policy())
+    assert decision.should_swap
+    assert decision.rejected_reason == ""
+
+
+def test_gate_trail_records_every_proposal():
+    rates = {0: 100.0, 1: 50.0, 2: 200.0, 3: 40.0}
+    decision = decide_swaps(active=[0, 1], spares=[2, 3], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 1000.0),
+                            comm_time=0.0, swap_cost=1.0,
+                            params=greedy_policy())
+    assert [g.gate for g in decision.gates] == ["accepted", "process"]
+    accepted, rejected = decision.gates
+    assert accepted.accepted and accepted.reason == ""
+    assert accepted.app_improvement == pytest.approx(1.0)
+    assert accepted.payback is not None
+    # The process gate fails before the application gates run.
+    assert not rejected.accepted
+    assert rejected.app_improvement is None and rejected.payback is None
+    assert rejected.process_improvement == pytest.approx(40.0 / 100.0 - 1.0)
+
+
+def test_gate_trail_application_rejection_carries_numbers():
+    params = PolicyParams(name="x", payback_threshold=1.0)
+    rates = {0: 100.0, 1: 50.0, 2: 200.0, 3: 110.0}
+    decision = decide_swaps(active=[0, 1], spares=[2, 3], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 1000.0),
+                            comm_time=0.0, swap_cost=9.0, params=params)
+    assert [g.gate for g in decision.gates] == ["accepted", "application"]
+    rejected = decision.gates[1]
+    assert rejected.payback == pytest.approx(18.0 / (20.0 - 1000.0 / 110.0))
+    record = rejected.to_record()
+    assert record["gate"] == "application"
+    assert record["reason"] == rejected.reason
+
+
+def test_gate_trail_all_accepted_chain():
+    rates = {0: 100.0, 1: 50.0, 2: 400.0, 3: 300.0}
+    decision = decide_swaps(active=[0, 1], spares=[2, 3], rates=rates,
+                            chunk_flops=equal_chunks([0, 1], 1000.0),
+                            comm_time=0.0, swap_cost=0.1,
+                            params=greedy_policy())
+    assert [g.gate for g in decision.gates] == ["accepted", "accepted"]
+    assert decision.rejected_reason == ""
+
+
 # -- properties -------------------------------------------------------------------
 
 rate_lists = st.lists(st.floats(min_value=1.0, max_value=1e4),

@@ -51,6 +51,31 @@ def test_performance_drop_gives_negative():
     assert payback_distance(10.0, 10.0, 2.0, 1.0) < 0.0
 
 
+def test_near_equal_performance_returns_inf_not_noise():
+    """Regression: only an exact 0.0 denominator mapped to inf, so a
+    rounding-level performance blip produced an astronomically large (or
+    large *negative*) payback instead of "never pays back"."""
+    assert payback_distance(10.0, 10.0, 1.0, 1.0 + 1e-14) == float("inf")
+    assert payback_distance(10.0, 10.0, 1.0, 1.0 - 1e-14) == float("inf")
+    third = 1.0 / 3.0
+    assert payback_distance(10.0, 10.0, third, 3.0 * third * third) == (
+        float("inf"))
+
+
+def test_just_outside_tolerance_is_finite_and_signed():
+    gain = payback_distance(10.0, 10.0, 1.0, 1.0 + 1e-9)
+    loss = payback_distance(10.0, 10.0, 1.0, 1.0 - 1e-9)
+    assert 0.0 < gain < float("inf")
+    assert float("-inf") < loss < 0.0
+
+
+def test_negative_zero_denominator_returns_positive_inf():
+    # The denominator guard must treat -0.0 (underflow from a ratio an
+    # ulp above 1.0) the same as +0.0.
+    assert 10.0 * (1.0 - (1.0 + 1e-17) / 1.0) == 0.0
+    assert payback_distance(10.0, 10.0, 1.0, 1.0 + 1e-17) == float("inf")
+
+
 def test_nonlinearity_in_performance_gain():
     """Payback is by definition not linearly proportional to the gain."""
     d2 = payback_distance(10.0, 10.0, 1.0, 2.0)

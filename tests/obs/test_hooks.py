@@ -1,0 +1,140 @@
+"""Tests for the kernel hook API (engine + process instrumentation)."""
+
+from repro import obs
+from repro.obs.hooks import SimHooks, TraceHooks
+from repro.simkernel.engine import Simulator
+
+
+class RecordingHooks(SimHooks):
+    """Collects every callback as a tuple, for assertions."""
+
+    def __init__(self):
+        self.calls = []
+
+    def event_scheduled(self, now, when, priority, seq, event_type):
+        self.calls.append(("scheduled", now, when, seq, event_type))
+
+    def event_fired(self, when, seq, event_type):
+        self.calls.append(("fired", when, seq, event_type))
+
+    def process_started(self, now, name):
+        self.calls.append(("process_started", now, name))
+
+    def process_ended(self, now, name, ok):
+        self.calls.append(("process_ended", now, name, ok))
+
+
+def _two_step_proc(sim):
+    yield sim.timeout(3.0)
+    yield sim.timeout(2.0)
+    return "done"
+
+
+def test_default_simulator_has_no_hooks():
+    assert Simulator().hooks is None
+
+
+def test_hooks_see_timeouts_and_process_lifecycle():
+    hooks = RecordingHooks()
+    sim = Simulator(hooks=hooks)
+    sim.process(_two_step_proc(sim), name="worker")
+    sim.run()
+
+    kinds = [c[0] for c in hooks.calls]
+    assert kinds.count("process_started") == 1
+    assert kinds.count("process_ended") == 1
+    # _Initialize + 2 timeouts + the process's own termination event.
+    assert kinds.count("scheduled") == 4
+    assert kinds.count("fired") == 4
+
+    started = next(c for c in hooks.calls if c[0] == "process_started")
+    ended = next(c for c in hooks.calls if c[0] == "process_ended")
+    assert started[2] == "worker" and started[1] == 0.0
+    assert ended[2] == "worker" and ended[1] == 5.0 and ended[3] is True
+
+
+def test_hooks_report_failed_process():
+    def boom(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    hooks = RecordingHooks()
+    sim = Simulator(hooks=hooks)
+    sim.process(boom(sim), name="boom")
+    try:
+        sim.run()
+    except RuntimeError:
+        pass
+    ended = next(c for c in hooks.calls if c[0] == "process_ended")
+    assert ended[3] is False
+
+
+def test_scheduled_and_fired_sequence_numbers_pair_up():
+    hooks = RecordingHooks()
+    sim = Simulator(hooks=hooks)
+    sim.timeout(1.0)
+    sim.timeout(2.0)
+    sim.run()
+    scheduled = {c[3] for c in hooks.calls if c[0] == "scheduled"}
+    fired = {c[2] for c in hooks.calls if c[0] == "fired"}
+    assert fired == scheduled
+
+
+def test_trace_hooks_emit_into_session():
+    session = obs.ObsSession()
+    sim = Simulator(hooks=TraceHooks(session))
+    sim.process(_two_step_proc(sim), name="worker")
+    sim.run()
+
+    kinds = {r["kind"] for r in session.trace.records}
+    assert kinds == {"kernel.event_scheduled", "kernel.event_fired",
+                     "kernel.process_started", "kernel.process_ended"}
+    counters = session.metrics.to_dict()["counters"]
+    assert counters["kernel.events_scheduled_total"] == counters[
+        "kernel.events_fired_total"]
+    assert counters["kernel.processes_started_total"] == 1.0
+    assert counters["kernel.processes_ended_total"] == 1.0
+
+
+def test_kernel_hooks_helper_binds_to_active_session():
+    assert obs.kernel_hooks() is None
+    session = obs.ObsSession()
+    with obs.observing(session):
+        hooks = obs.kernel_hooks()
+        assert isinstance(hooks, TraceHooks)
+        assert hooks.session is session
+    assert obs.kernel_hooks() is None
+
+
+def test_swap_runtime_traces_kernel_under_session():
+    from repro.load.base import ConstantLoadModel
+    from repro.platform.cluster import make_platform
+    from repro.swap.runtime import SwapRuntime
+
+    platform = make_platform(3, ConstantLoadModel(0.0), seed=0)
+    session = obs.ObsSession()
+    with obs.observing(session):
+        runtime = SwapRuntime(platform, n_active=2, chunk_flops=1e9)
+        result = runtime.run_iterative(iterations=2)
+    assert result.makespan > 0
+    kinds = {r["kind"] for r in session.trace.records}
+    assert "kernel.event_fired" in kinds
+    assert "kernel.process_started" in kinds
+    # The manager's decision epochs are in the same trace.
+    assert "decision" in kinds
+
+
+def test_hook_trace_is_deterministic_across_runs():
+    def run() -> str:
+        from repro.load.base import ConstantLoadModel
+        from repro.platform.cluster import make_platform
+        from repro.swap.runtime import SwapRuntime
+
+        platform = make_platform(3, ConstantLoadModel(0.0), seed=0)
+        session = obs.ObsSession()
+        with obs.observing(session):
+            SwapRuntime(platform, n_active=2,
+                        chunk_flops=1e9).run_iterative(iterations=2)
+        return session.trace.to_jsonl()
+
+    assert run() == run()

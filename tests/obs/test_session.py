@@ -1,0 +1,123 @@
+"""Tests for the ambient observation session and emission helpers."""
+
+import pytest
+
+from repro import obs
+from repro.core.decision import decide_swaps, evaluate_reconfiguration
+from repro.core.policy import greedy_policy
+
+
+def test_no_session_by_default():
+    assert obs.active() is None
+
+
+def test_observing_activates_and_restores():
+    session = obs.ObsSession()
+    with obs.observing(session) as entered:
+        assert entered is session
+        assert obs.active() is session
+    assert obs.active() is None
+
+
+def test_observing_restores_previous_on_nesting():
+    outer, inner = obs.ObsSession(), obs.ObsSession()
+    with obs.observing(outer):
+        with obs.observing(inner):
+            assert obs.active() is inner
+        assert obs.active() is outer
+
+
+def test_observing_restores_on_exception():
+    session = obs.ObsSession()
+    with pytest.raises(RuntimeError):
+        with obs.observing(session):
+            raise RuntimeError()
+    assert obs.active() is None
+
+
+def test_helpers_are_noops_without_session():
+    before = obs.emitted_total()
+    obs.emit("e", 1.0)
+    obs.count("c")
+    obs.gauge("g", 1.0)
+    obs.observe_value("h", 1.0)
+    assert obs.emitted_total() == before
+
+
+def test_helpers_emit_into_active_session():
+    session = obs.ObsSession()
+    before = obs.emitted_total()
+    with obs.observing(session):
+        obs.emit("e", 2.0, detail="x")
+        obs.count("c", 3.0)
+        obs.gauge("g", 4.0)
+        obs.observe_value("h", 5.0)
+    assert obs.emitted_total() == before + 1
+    assert session.trace.records == [{"kind": "e", "t": 2.0, "detail": "x"}]
+    assert session.metrics.counter("c").value == 3.0
+    assert session.metrics.gauge("g").value == 4.0
+    assert session.metrics.histogram("h").count == 1
+
+
+def test_emit_decision_serializes_gate_trail():
+    rates = {0: 100.0, 1: 50.0, 2: 200.0, 3: 40.0}
+    decision = decide_swaps(active=[0, 1], spares=[2, 3], rates=rates,
+                            chunk_flops={0: 1000.0, 1: 1000.0},
+                            comm_time=0.0, swap_cost=1.0,
+                            params=greedy_policy())
+    session = obs.ObsSession()
+    with obs.observing(session):
+        obs.emit_decision(60.0, source="swap-greedy", iteration=1,
+                          policy="greedy", decision=decision,
+                          active=[0, 1], spares=[2, 3])
+    (record,) = session.trace.records
+    assert record["kind"] == "decision"
+    assert record["accepted"] is True
+    assert record["moves"][0]["out_host"] == 1
+    assert [g["gate"] for g in record["gates"]] == ["accepted", "process"]
+    counters = session.metrics.to_dict()["counters"]
+    assert counters["decision.epochs_total"] == 1.0
+    assert counters["decision.moves_total"] == 1.0
+    assert "decision.payback_iterations" in (
+        session.metrics.to_dict()["histograms"])
+
+
+def test_emit_decision_counts_rejections():
+    rates = {0: 100.0, 1: 90.0, 2: 50.0}
+    decision = decide_swaps(active=[0, 1], spares=[2], rates=rates,
+                            chunk_flops={0: 1000.0, 1: 1000.0},
+                            comm_time=0.0, swap_cost=1.0,
+                            params=greedy_policy())
+    session = obs.ObsSession()
+    with obs.observing(session):
+        obs.emit_decision(60.0, source="swap-greedy", iteration=1,
+                          policy="greedy", decision=decision,
+                          active=[0, 1], spares=[2])
+    (record,) = session.trace.records
+    assert record["accepted"] is False
+    assert "no faster" in record["rejected_reason"]
+    counters = session.metrics.to_dict()["counters"]
+    assert counters["decision.epochs_rejected_total"] == 1.0
+
+
+def test_emit_check_records_cr_gate():
+    check = evaluate_reconfiguration(100.0, 50.0, cost=10.0,
+                                     params=greedy_policy())
+    session = obs.ObsSession()
+    with obs.observing(session):
+        obs.emit_check(120.0, source="cr", iteration=2, policy="greedy",
+                       check=check, cost=10.0, active=[0, 1],
+                       candidate=[2, 3])
+    (record,) = session.trace.records
+    assert record["kind"] == "decision"
+    assert record["accepted"] is True
+    assert record["candidate"] == [2, 3]
+
+
+def test_emit_helpers_are_noops_without_session_for_decisions():
+    check = evaluate_reconfiguration(100.0, 50.0, cost=10.0,
+                                     params=greedy_policy())
+    before = obs.emitted_total()
+    obs.emit_check(1.0, source="cr", iteration=1, policy="greedy",
+                   check=check, cost=1.0, active=[0], candidate=[1])
+    assert obs.emitted_total() == before
