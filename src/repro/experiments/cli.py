@@ -67,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics-json", metavar="PATH", default=None,
                         help="write the merged counters/gauges/histograms "
                              "registry as JSON")
+    parser.add_argument("--report", metavar="DIR", default=None,
+                        help="trace the run and write the analytics report "
+                             "(report.md + gantt.svg) into DIR; implies "
+                             "instrumentation even without --trace")
     parser.add_argument("--chart", action="store_true",
                         help="also draw an ASCII chart")
     parser.add_argument("--events", action="store_true",
@@ -137,8 +141,9 @@ def main(argv: "list[str] | None" = None) -> int:
 
 
 def _make_session(args):
-    """An ObsSession when --trace/--metrics-json asked for one, else None."""
-    if args.trace is None and args.metrics_json is None:
+    """An ObsSession when --trace/--metrics-json/--report asked for one."""
+    if args.trace is None and args.metrics_json is None \
+            and args.report is None:
         return None
     from repro import obs
 
@@ -146,7 +151,8 @@ def _make_session(args):
 
 
 def _write_obs(args, session) -> None:
-    """Write the trace and metrics files a session collected."""
+    """Write the trace/metrics files and analytics report a session
+    collected."""
     if session is None:
         return
     if args.trace is not None:
@@ -159,6 +165,18 @@ def _write_obs(args, session) -> None:
     if args.metrics_json is not None:
         session.metrics.write_json(args.metrics_json)
         print(f"wrote metrics registry to {args.metrics_json}")
+    if args.report is not None:
+        from repro.obs.analyze import TraceSet
+        from repro.obs.report import write_report
+
+        md_path, svg_path, findings = write_report(
+            TraceSet.from_recorder(session.trace), args.report,
+            metrics=session.metrics)
+        print(f"wrote run report to {md_path} (+ {svg_path.name})")
+        if findings:
+            for finding in findings:
+                print(f"  {finding}")
+            print(f"  {len(findings)} trace lint finding(s)")
 
 
 def regenerate_all(args) -> int:

@@ -10,8 +10,14 @@ from repro.experiments.runner import SweepResult
 
 
 def _fmt_x(x: float) -> str:
+    # Spell non-finite grid points the way repro.obs.trace.jsonable does,
+    # so tables and traces agree on the ablation grids.
+    if x != x:
+        return "nan"
     if x == float("inf"):
         return "inf"
+    if x == float("-inf"):
+        return "-inf"
     if abs(x) >= 100 or x == int(x):
         return f"{x:g}"
     return f"{x:.2f}"
@@ -36,8 +42,11 @@ def format_table(result: SweepResult, baseline: str | None = None,
         for name in names:
             mean = result.series[name].mean[i]
             if baseline is not None and baseline in result.series:
-                ratio = mean / result.series[baseline].mean[i]
-                cell = f"{mean:9.1f} ({ratio:4.2f})"
+                base = result.series[baseline].mean[i]
+                if base == 0:
+                    cell = f"{mean:9.1f} ( n/a)"
+                else:
+                    cell = f"{mean:9.1f} ({mean / base:4.2f})"
             else:
                 cell = f"{mean:9.1f}"
             if show_events:

@@ -23,14 +23,16 @@ _MARGIN_TOP = 50.0
 _MARGIN_BOTTOM = 55.0
 
 
-def _ticks(lo: float, hi: float, n: int = 5) -> "list[float]":
+def ticks(lo: float, hi: float, n: int = 5) -> "list[float]":
+    """``n`` evenly spaced axis ticks spanning [lo, hi] (one when flat)."""
     if hi <= lo:
         return [lo]
     step = (hi - lo) / (n - 1)
     return [lo + i * step for i in range(n)]
 
 
-def _fmt(value: float) -> str:
+def fmt_tick(value: float) -> str:
+    """A tick label with magnitude-dependent precision."""
     if value == 0:
         return "0"
     if abs(value) >= 1000:
@@ -38,6 +40,23 @@ def _fmt(value: float) -> str:
     if abs(value) >= 10:
         return f"{value:.1f}"
     return f"{value:.2f}"
+
+
+def svg_header(width: int, height: int, title: str) -> "list[str]":
+    """The shared document prologue: root element, backdrop, title."""
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+        f'font-size="13">{escape(title[:90])}</text>',
+    ]
+
+
+# Backward-compatible private aliases (pre-report internal names).
+_ticks = ticks
+_fmt = fmt_tick
 
 
 def render_svg(result: SweepResult, width: int = 720,
@@ -65,34 +84,27 @@ def render_svg(result: SweepResult, width: int = 720,
     def py(y: float) -> float:
         return _MARGIN_TOP + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
 
-    parts = [
-        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
-        f'height="{height}" viewBox="0 0 {width} {height}" '
-        f'font-family="sans-serif" font-size="12">',
-        f'<rect width="{width}" height="{height}" fill="white"/>',
-        f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
-        f'font-size="13">{escape(result.title[:90])}</text>',
-    ]
+    parts = svg_header(width, height, result.title)
 
     # Axes and ticks.
     axis = (f'M {_MARGIN_LEFT} {_MARGIN_TOP} '
             f'L {_MARGIN_LEFT} {_MARGIN_TOP + plot_h} '
             f'L {_MARGIN_LEFT + plot_w} {_MARGIN_TOP + plot_h}')
     parts.append(f'<path d="{axis}" stroke="#333" fill="none"/>')
-    for tick in _ticks(y_lo, y_hi):
+    for tick in ticks(y_lo, y_hi):
         y = py(tick)
         parts.append(f'<line x1="{_MARGIN_LEFT - 4}" y1="{y:.1f}" '
                      f'x2="{_MARGIN_LEFT + plot_w}" y2="{y:.1f}" '
                      f'stroke="#ddd"/>')
         parts.append(f'<text x="{_MARGIN_LEFT - 8}" y="{y + 4:.1f}" '
-                     f'text-anchor="end">{_fmt(tick)}</text>')
-    for tick in _ticks(x_lo, x_hi):
+                     f'text-anchor="end">{fmt_tick(tick)}</text>')
+    for tick in ticks(x_lo, x_hi):
         x = px(tick)
         parts.append(f'<line x1="{x:.1f}" y1="{_MARGIN_TOP + plot_h}" '
                      f'x2="{x:.1f}" y2="{_MARGIN_TOP + plot_h + 4}" '
                      f'stroke="#333"/>')
         parts.append(f'<text x="{x:.1f}" y="{_MARGIN_TOP + plot_h + 18:.1f}" '
-                     f'text-anchor="middle">{_fmt(tick)}</text>')
+                     f'text-anchor="middle">{fmt_tick(tick)}</text>')
     parts.append(f'<text x="{_MARGIN_LEFT + plot_w / 2:.0f}" '
                  f'y="{height - 14}" text-anchor="middle">'
                  f'{escape(result.xlabel)}</text>')

@@ -10,6 +10,11 @@ epoch; this package makes that visible.  It has three layers:
   gauges, histograms with a deterministic merge.
 * :mod:`repro.obs.hooks` -- :class:`SimHooks`: the kernel's
   instrumentation points (event scheduled/fired, process start/stop).
+* :mod:`repro.obs.analyze` -- :class:`TraceSet`: load traces back into
+  records, query them, derive analytics, and :func:`lint` the TL
+  invariants (TL001-TL006).
+* :mod:`repro.obs.report` -- deterministic Markdown run reports and the
+  swap-Gantt SVG (also ``python -m repro.obs report``).
 
 An :class:`ObsSession` bundles one recorder and one registry.  Code that
 wants to *emit* never handles a session directly: it calls the module
@@ -33,15 +38,19 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.obs.analyze import (TRACE_RULES, LintFinding, TraceSet, analyze,
+                               lint)
 from repro.obs.hooks import SimHooks, TraceHooks
 from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.report import write_report
 from repro.obs.trace import TraceRecorder, jsonable
 
 __all__ = [
-    "DEFAULT_BUCKETS", "MetricsRegistry", "ObsSession", "SimHooks",
-    "TraceHooks", "TraceRecorder", "active", "count", "emit",
+    "DEFAULT_BUCKETS", "LintFinding", "MetricsRegistry", "ObsSession",
+    "PAYBACK_BUCKETS", "SimHooks", "TRACE_RULES", "TraceHooks",
+    "TraceRecorder", "TraceSet", "active", "analyze", "count", "emit",
     "emit_check", "emit_decision", "emitted_total", "gauge", "jsonable",
-    "kernel_hooks", "observe_value", "observing",
+    "kernel_hooks", "lint", "observe_value", "observing", "write_report",
 ]
 
 #: Bucket bounds for payback-distance histograms (iterations; the

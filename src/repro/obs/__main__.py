@@ -1,0 +1,140 @@
+"""Command-line trace analytics: ``python -m repro.obs <command>``.
+
+Commands
+--------
+
+``report TRACE [--metrics M] --out DIR``
+    Analyze + lint a JSONL trace and write the deterministic Markdown
+    report and Gantt SVG into DIR.  ``--strict`` exits non-zero when the
+    linter finds anything.
+``lint TRACE [--metrics M]``
+    Run only the TL invariant linter; exit 1 on findings (the CI gate).
+``summary TRACE``
+    One-screen text summary (record kinds, cells, decision outcomes).
+
+Examples::
+
+    python -m repro.experiments fig7 --seeds 2 --trace fig7.jsonl \\
+        --metrics-json fig7-metrics.json
+    python -m repro.obs report fig7.jsonl --metrics fig7-metrics.json \\
+        --out fig7-report
+    python -m repro.obs lint fig7.jsonl --metrics fig7-metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.analyze import (TRACE_RULES, TraceSet, decision_summary,
+                               format_cell, lint)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Consume repro.obs decision traces: analytics, "
+                    "invariant lint, run reports.")
+    sub = parser.add_subparsers(dest="command")
+
+    report = sub.add_parser("report", help="write Markdown + SVG run report")
+    report.add_argument("trace", help="JSONL trace file (--trace output)")
+    report.add_argument("--metrics", metavar="PATH", default=None,
+                        help="metrics registry JSON (--metrics-json "
+                             "output) for TL005 cross-checks")
+    report.add_argument("--out", metavar="DIR", default="trace-report",
+                        help="output directory (default: trace-report/)")
+    report.add_argument("--strict", action="store_true",
+                        help="exit 3 when the linter reports findings")
+
+    lint_cmd = sub.add_parser("lint", help="check TL001-TL006 invariants")
+    lint_cmd.add_argument("trace")
+    lint_cmd.add_argument("--metrics", metavar="PATH", default=None)
+    lint_cmd.add_argument("--json", action="store_true",
+                          help="machine-readable findings on stdout")
+
+    summary = sub.add_parser("summary", help="one-screen trace summary")
+    summary.add_argument("trace")
+
+    rules = sub.add_parser("rules", help="list the TL invariant codes")
+    del rules
+    return parser
+
+
+def _load_metrics(path: "str | None"):
+    if path is None:
+        return None
+    from pathlib import Path
+
+    return json.loads(Path(path).read_text())
+
+
+def _print_findings(findings) -> None:
+    for finding in findings:
+        print(str(finding), file=sys.stderr)
+    print(f"{len(findings)} lint finding(s)", file=sys.stderr)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command is None:
+        parser.print_usage()
+        return 2
+
+    if args.command == "rules":
+        for code in sorted(TRACE_RULES):
+            print(f"{code}: {TRACE_RULES[code]}")
+        return 0
+
+    ts = TraceSet.load(args.trace)
+
+    if args.command == "summary":
+        print(f"{len(ts)} records, {len(ts.bad_lines)} unparseable lines")
+        for kind, count in ts.kinds().items():
+            print(f"  {kind:>24}: {count}")
+        print(f"cells ({len(ts.cells())}):")
+        for cell in ts.cells():
+            print(f"  {format_cell(cell)}")
+        decisions = decision_summary(ts)
+        print(f"decisions: {decisions['epochs']} epochs, "
+              f"{decisions['accepted']} accepted, "
+              f"{decisions['moves']} moves")
+        return 0
+
+    metrics = _load_metrics(args.metrics)
+    findings = lint(ts, metrics)
+
+    if args.command == "lint":
+        if args.json:
+            print(json.dumps(
+                [{"code": f.code, "message": f.message,
+                  "cell": list(f.cell) if f.cell else None,
+                  "series": f.series} for f in findings],
+                sort_keys=True))
+            return 1 if findings else 0
+        if findings:
+            _print_findings(findings)
+            return 1
+        print(f"clean: {len(ts)} records satisfy "
+              f"{len(TRACE_RULES)} TL invariants")
+        return 0
+
+    # report
+    from repro.obs.report import write_report
+
+    md_path, svg_path, findings = write_report(ts, args.out, metrics,
+                                               findings=findings)
+    print(f"wrote {md_path}")
+    print(f"wrote {svg_path}")
+    if findings:
+        _print_findings(findings)
+        if args.strict:
+            return 3
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

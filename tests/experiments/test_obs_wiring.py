@@ -172,9 +172,46 @@ def test_cli_trace_runs_are_byte_identical(tmp_path, monkeypatch):
     assert paths[0] == paths[1]
 
 
+def test_cli_report_writes_markdown_and_gantt(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    outdir = tmp_path / "run-report"
+    code = cli.main(["fig4", "--seeds", "1", "--no-cache", "--no-bench",
+                     "--report", str(outdir)])
+    assert code == 0
+    report = (outdir / "report.md").read_text()
+    assert report.startswith("# Trace run report")
+    assert "clean" in report  # a real sweep trace lints clean
+    assert (outdir / "gantt.svg").read_text().startswith("<svg")
+    out = capsys.readouterr().out
+    assert "wrote run report" in out
+    assert "lint finding" not in out
+
+
+def test_cli_report_is_byte_identical_across_jobs(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    outputs = []
+    for jobs, name in (("1", "a"), ("2", "b")):
+        outdir = tmp_path / name
+        assert cli.main(["fig4", "--seeds", "1", "--no-cache", "--no-bench",
+                         "--jobs", jobs, "--report", str(outdir)]) == 0
+        outputs.append(((outdir / "report.md").read_bytes(),
+                        (outdir / "gantt.svg").read_bytes()))
+    assert outputs[0] == outputs[1]
+
+
 def test_cli_without_trace_flags_makes_no_session():
     class Args:
         trace = None
         metrics_json = None
+        report = None
 
     assert cli._make_session(Args()) is None
+
+
+def test_cli_report_flag_alone_makes_a_session():
+    class Args:
+        trace = None
+        metrics_json = None
+        report = "report-dir"
+
+    assert cli._make_session(Args()) is not None

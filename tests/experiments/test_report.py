@@ -1,6 +1,7 @@
 """Tests for report rendering."""
 
-from repro.experiments.report import ascii_chart, format_table, shape_summary
+from repro.experiments.report import (_fmt_x, ascii_chart, format_table,
+                                      shape_summary)
 from repro.experiments.runner import SeriesStats, SweepResult
 
 
@@ -61,3 +62,44 @@ def test_shape_summary_ratios():
     assert "swap-greedy" in text
     assert "best 0.75x" in text
     assert "nothing:" not in text  # baseline excluded
+
+
+def test_table_zero_baseline_mean_renders_na():
+    result = sample_result()
+    result.series["nothing"].mean[1] = 0.0
+    text = format_table(result, baseline="nothing")
+    assert "( n/a)" in text
+    # The other rows keep real ratios.
+    assert "(1.10)" in text and "(1.03)" in text
+
+
+def test_fmt_x_spells_nonfinite_like_jsonable():
+    assert _fmt_x(float("inf")) == "inf"
+    assert _fmt_x(float("-inf")) == "-inf"
+    assert _fmt_x(float("nan")) == "nan"
+    assert _fmt_x(0.25) == "0.25"
+    assert _fmt_x(250.0) == "250"
+
+
+def test_table_with_inf_x_value():
+    result = sample_result()
+    result.x_values = [0.0, 0.5, float("inf")]
+    text = format_table(result, baseline="nothing")
+    assert "inf" in text.splitlines()[-3]
+
+
+def test_chart_single_point_spells_axis_endpoints():
+    result = sample_result()
+    result.x_values = [float("inf")]
+    for stats in result.series.values():
+        stats.mean = stats.mean[:1]
+    text = ascii_chart(result)
+    assert "inf .. inf" in text
+
+
+def test_chart_flat_series_does_not_divide_by_zero():
+    result = sample_result()
+    for stats in result.series.values():
+        stats.mean = [5.0, 5.0, 5.0]
+    text = ascii_chart(result)
+    assert "o" in text and "*" in text

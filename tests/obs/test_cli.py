@@ -1,0 +1,101 @@
+"""Tests for the ``python -m repro.obs`` trace-analytics CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+from repro.obs.analyze import TRACE_RULES
+
+from tests.obs.test_analyze import swept_session, synthetic_recorder
+
+
+@pytest.fixture(scope="module")
+def trace_files(tmp_path_factory):
+    """A real traced sweep written out as (trace.jsonl, metrics.json)."""
+    outdir = tmp_path_factory.mktemp("trace")
+    session = swept_session()
+    trace = outdir / "trace.jsonl"
+    metrics = outdir / "metrics.json"
+    session.trace.write_jsonl(trace)
+    session.metrics.write_json(metrics)
+    return trace, metrics
+
+
+@pytest.fixture()
+def dirty_trace(tmp_path):
+    path = tmp_path / "dirty.jsonl"
+    path.write_text('{"kind":"iteration","t":1.0}\nnot json at all\n')
+    return path
+
+
+def test_no_command_prints_usage(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out
+
+
+def test_rules_lists_every_code(capsys):
+    assert main(["rules"]) == 0
+    out = capsys.readouterr().out
+    for code in TRACE_RULES:
+        assert code in out
+
+
+def test_lint_clean_trace_exits_zero(trace_files, capsys):
+    trace, metrics = trace_files
+    assert main(["lint", str(trace), "--metrics", str(metrics)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_findings_exit_one(dirty_trace, capsys):
+    assert main(["lint", str(dirty_trace)]) == 1
+    err = capsys.readouterr().err
+    assert "TL006" in err and "1 lint finding(s)" in err
+
+
+def test_lint_json_output_is_machine_readable(dirty_trace, capsys):
+    assert main(["lint", str(dirty_trace), "--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc[0]["code"] == "TL006"
+    assert "message" in doc[0]
+
+
+def test_report_writes_markdown_and_svg(trace_files, tmp_path, capsys):
+    trace, metrics = trace_files
+    out = tmp_path / "report"
+    assert main(["report", str(trace), "--metrics", str(metrics),
+                 "--out", str(out)]) == 0
+    assert (out / "report.md").exists()
+    assert (out / "gantt.svg").exists()
+    stdout = capsys.readouterr().out
+    assert "report.md" in stdout and "gantt.svg" in stdout
+
+
+def test_report_runs_are_byte_identical(trace_files, tmp_path):
+    trace, metrics = trace_files
+    outputs = []
+    for name in ("a", "b"):
+        out = tmp_path / name
+        assert main(["report", str(trace), "--metrics", str(metrics),
+                     "--out", str(out)]) == 0
+        outputs.append(((out / "report.md").read_bytes(),
+                        (out / "gantt.svg").read_bytes()))
+    assert outputs[0] == outputs[1]
+
+
+def test_report_strict_exits_three_on_findings(dirty_trace, tmp_path):
+    out = tmp_path / "report"
+    assert main(["report", str(dirty_trace), "--out", str(out)]) == 0
+    assert main(["report", str(dirty_trace), "--out", str(out),
+                 "--strict"]) == 3
+
+
+def test_summary_shows_kinds_cells_and_decisions(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    path.write_text(synthetic_recorder().to_jsonl())
+    assert main(["summary", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "8 records, 0 unparseable lines" in out
+    assert "iteration" in out and "swap" in out
+    assert "s x=0.5 seed=0" in out
+    assert "decisions: 3 epochs, 2 accepted, 2 moves" in out
