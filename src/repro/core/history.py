@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 from typing import Deque, Iterable, Tuple
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -38,6 +39,9 @@ class PerformanceHistory:
             raise PolicyError(f"negative history window {window}")
         self.window = float(window)
         self._samples: Deque[Tuple[float, float]] = deque()
+        self.total_recorded = 0
+        """Lifetime count of :meth:`record` calls (trimming never lowers
+        it); incremental consumers key their progress off this."""
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -49,6 +53,7 @@ class PerformanceHistory:
                 f"sample at t={t} is older than the newest sample "
                 f"(t={self._samples[-1][0]})")
         self._samples.append((float(t), float(value)))
+        self.total_recorded += 1
         self._trim(t)
 
     def _trim(self, now: float) -> None:
@@ -58,10 +63,19 @@ class PerformanceHistory:
             self._samples.popleft()
 
     def samples(self, now: float | None = None) -> "list[tuple[float, float]]":
-        """Samples currently inside the window ending at ``now``."""
-        if now is not None:
-            self._trim(now)
-        return list(self._samples)
+        """Samples inside the window ending at ``now`` (a non-mutating view).
+
+        Reads never discard anything: a forecaster probing at a late
+        ``now`` sees the windowed view but the stored samples survive for
+        later reads at earlier-or-equal times.  (Storage itself is trimmed
+        only by :meth:`record`, against the newest sample's timestamp.)
+        """
+        if now is None or not self._samples:
+            return list(self._samples)
+        cutoff = now - self.window
+        view = [s for s in self._samples if s[0] >= cutoff]
+        # Same guarantee as _trim: the newest sample is always visible.
+        return view or [self._samples[-1]]
 
     def values(self, now: float | None = None) -> "list[float]":
         return [v for _t, v in self.samples(now)]
@@ -136,12 +150,37 @@ class EwmaForecaster(Forecaster):
         return float(estimate)
 
 
+class _AdaptiveScore:
+    """Incremental one-step-ahead error tally for one scored history.
+
+    ``mirror`` is a rolling copy of the history (same window, trimmed on
+    record exactly like the live one) that always lags the scored history
+    by the samples not yet consumed: each new sample is first predicted
+    from the mirror by every child (accumulating its absolute error), then
+    appended.  Every sample is therefore scored exactly once, making the
+    per-prediction cost O(new samples) instead of a full O(n^2) replay.
+    """
+
+    __slots__ = ("mirror", "errors", "consumed")
+
+    def __init__(self, n_children: int, window: float) -> None:
+        self.mirror = PerformanceHistory(window=window)
+        self.errors = [0.0] * n_children
+        self.consumed = 0
+
+
 class AdaptiveForecaster(Forecaster):
     """NWS-style selector: use the child with the lowest cumulative error.
 
-    On each prediction, every child forecaster is scored by its cumulative
-    absolute one-step-ahead error over the history, and the best child's
-    prediction is returned.
+    Every child forecaster is scored by its cumulative absolute one-step-
+    ahead error over the samples seen so far, and the best child's
+    prediction is returned.  Scoring is incremental (each sample is scored
+    once, when first observed), so a prediction inside the per-iteration
+    decision loop costs O(new samples since the last prediction), not a
+    full-history replay.  Errors accumulate over the history's lifetime --
+    the NWS formulation -- rather than being recomputed over the current
+    window; samples recorded *and* trimmed between two predictions (only
+    possible when predictions are rarer than measurements) are skipped.
     """
 
     name = "adaptive"
@@ -155,23 +194,35 @@ class AdaptiveForecaster(Forecaster):
         ]
         if not self.children:
             raise PolicyError("need at least one child forecaster")
+        self._scores: "WeakKeyDictionary[PerformanceHistory, _AdaptiveScore]" \
+            = WeakKeyDictionary()
+
+    def _score(self, history: PerformanceHistory) -> _AdaptiveScore:
+        """Consume samples recorded since the last call and tally errors."""
+        score = self._scores.get(history)
+        if score is None:
+            score = _AdaptiveScore(len(self.children), history.window)
+            self._scores[history] = score
+        fresh = history.total_recorded - score.consumed
+        if fresh > 0:
+            pending = list(history._samples)[-fresh:]
+            for t, v in pending:
+                if len(score.mirror) > 0:
+                    for i, child in enumerate(self.children):
+                        score.errors[i] += abs(
+                            child.predict(score.mirror, t) - v)
+                score.mirror.record(t, v)
+            score.consumed = history.total_recorded
+        return score
 
     def predict(self, history: PerformanceHistory, now: float) -> float:
         samples = history.samples(now)
         if not samples:
             raise PolicyError("history is empty")
+        score = self._score(history)
         if len(samples) == 1:
             return samples[0][1]
-        errors = [0.0] * len(self.children)
-        # Replay: at each prefix, ask each child to predict the next sample.
-        for split in range(1, len(samples)):
-            prefix = PerformanceHistory(window=history.window)
-            for t, v in samples[:split]:
-                prefix.record(t, v)
-            target_t, target_v = samples[split]
-            for i, child in enumerate(self.children):
-                errors[i] += abs(child.predict(prefix, target_t) - target_v)
-        best = int(np.argmin(errors))
+        best = int(np.argmin(score.errors))
         return self.children[best].predict(history, now)
 
 

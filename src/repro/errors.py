@@ -58,3 +58,7 @@ class ExperimentError(ReproError):
 
 class ObservabilityError(ReproError):
     """Invalid trace record, metric operation, or export (:mod:`repro.obs`)."""
+
+
+class FaultError(ReproError):
+    """Invalid fault model parameters or fault plan query (:mod:`repro.faults`)."""

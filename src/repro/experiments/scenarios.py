@@ -32,6 +32,7 @@ from repro.app.iterative import ApplicationSpec
 from repro.app.workloads import paper_application
 from repro.core.policy import friendly_policy, greedy_policy, safe_policy
 from repro.errors import ExperimentError
+from repro.faults.plan import FaultModel
 from repro.load.hyperexp import HyperexponentialLoadModel
 from repro.load.onoff import OnOffLoadModel
 from repro.platform.cluster import Platform, make_platform
@@ -119,6 +120,14 @@ class ExperimentSpec:
     paper_claim: str = ""
     """The qualitative result the paper reports for this figure."""
     default_seeds: int = 5
+    context: "tuple[str, ...]" = ()
+    """Extra content-address material hashed into :meth:`fingerprint`.
+
+    Builders that depend on generated inputs beyond their own source --
+    e.g. fault plans, whose realization algorithm is versioned separately
+    (:data:`repro.faults.plan.PLAN_VERSION`) -- put those inputs'
+    fingerprints here so cached sweep cells are invalidated when the
+    generation algorithm or parameters change."""
 
     def __post_init__(self) -> None:
         if not self.x_values:
@@ -144,7 +153,8 @@ class ExperimentSpec:
         hasher = hashlib.sha256()
         for part in (self.name, self.title, self.xlabel,
                      repr(tuple(float(x) for x in self.x_values)),
-                     str(self.default_seeds), self.paper_claim, build_src):
+                     str(self.default_seeds), self.paper_claim, build_src,
+                     repr(tuple(self.context))):
             hasher.update(part.encode("utf-8"))
             hasher.update(b"\x00")
         return hasher.hexdigest()
@@ -562,12 +572,52 @@ EXT_EVICTION = ExperimentSpec(
 )
 
 
+# -- Extension: fault injection (host revocation and recovery) ---------------
+
+#: Host revocations per host-hour.  0 is the fault-free control; 8 means
+#: a host drops out every 7.5 minutes on average -- faster than the mean
+#: downtime, so several hosts are typically dark at once.
+FAULT_RATE_GRID = (0.0, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def _ext_faults_model(rate: float) -> FaultModel:
+    return FaultModel(revocation_rate=rate, mean_downtime=300.0,
+                      transfer_failure_prob=0.05, store_outage_rate=0.5,
+                      mean_store_outage=120.0)
+
+
+def _ext_faults_build(rate: float, seed: int):
+    platform = make_platform(32, DYNAMISM.model(0.3), seed=seed,
+                             speed_range=EVALUATION_SPEED_RANGE,
+                             fault_model=_ext_faults_model(rate))
+    app = _standard_app(n_processes=4, state_bytes=1 * MB)
+    return platform, _named(app, _four_techniques())
+
+
+EXT_FAULTS = ExperimentSpec(
+    name="ext-faults",
+    title="Extension: techniques under host revocation faults, by "
+          "revocation rate (4 active / 32 total, d=0.3, 1 MB state, "
+          "5-minute mean downtime)",
+    xlabel="revocation rate [per host-hour]",
+    x_values=FAULT_RATE_GRID,
+    build=_ext_faults_build,
+    paper_claim="Section 2 (sketched, not evaluated): a swap-capable "
+                "application can treat a revoked processor like a slow "
+                "one and promote a spare, while a static MPI application "
+                "stalls until the processor returns.",
+    context=tuple(_ext_faults_model(rate).fingerprint()
+                  for rate in FAULT_RATE_GRID),
+)
+
+
 ALL_SCENARIOS: "dict[str, ExperimentSpec]" = {
     spec.name: spec
     for spec in (FIG4, FIG5, FIG6, FIG7, FIG8, FIG9,
                  ABLATION_PAYBACK, ABLATION_HISTORY,
                  ABLATION_IMPROVEMENT, ABLATION_MAXSWAPS,
-                 EXT_EVICTION, EXT_SPAWN, EXT_REPLAY, EXT_CONTRACTS)
+                 EXT_EVICTION, EXT_SPAWN, EXT_REPLAY, EXT_CONTRACTS,
+                 EXT_FAULTS)
 }
 
 

@@ -1,0 +1,23 @@
+"""Deterministic fault injection and recovery (:mod:`repro.faults`).
+
+See :mod:`repro.faults.plan` for the fault model/plan layer and
+:mod:`repro.faults.recovery` for the strategy-shared recovery mechanics.
+``docs/ROBUSTNESS.md`` documents the fault model, the per-strategy
+recovery semantics, and the determinism contract.
+"""
+
+from repro.faults.plan import PLAN_VERSION, FaultModel, FaultPlan
+from repro.faults.recovery import (TransferSequencer, alive,
+                                   attempt_transfer, compute_finish,
+                                   promote_spares)
+
+__all__ = [
+    "PLAN_VERSION",
+    "FaultModel",
+    "FaultPlan",
+    "TransferSequencer",
+    "alive",
+    "attempt_transfer",
+    "compute_finish",
+    "promote_spares",
+]

@@ -138,6 +138,8 @@ class LoadTrace:
 
     def integrate_availability(self, t0: float, t1: float) -> float:
         """``∫ 1/(1+n(u)) du`` over ``[t0, t1]`` (exact)."""
+        if t0 < 0:
+            raise LoadModelError(f"negative start time {t0}")
         if t1 < t0:
             raise LoadModelError(f"empty window [{t0}, {t1}]")
         if t1 == t0:

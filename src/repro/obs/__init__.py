@@ -12,7 +12,7 @@ epoch; this package makes that visible.  It has three layers:
   instrumentation points (event scheduled/fired, process start/stop).
 * :mod:`repro.obs.analyze` -- :class:`TraceSet`: load traces back into
   records, query them, derive analytics, and :func:`lint` the TL
-  invariants (TL001-TL006).
+  invariants (TL001-TL007).
 * :mod:`repro.obs.report` -- deterministic Markdown run reports and the
   swap-Gantt SVG (also ``python -m repro.obs report``).
 

@@ -48,7 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--strict", action="store_true",
                         help="exit 3 when the linter reports findings")
 
-    lint_cmd = sub.add_parser("lint", help="check TL001-TL006 invariants")
+    lint_cmd = sub.add_parser("lint", help="check TL001-TL007 invariants")
     lint_cmd.add_argument("trace")
     lint_cmd.add_argument("--metrics", metavar="PATH", default=None)
     lint_cmd.add_argument("--json", action="store_true",

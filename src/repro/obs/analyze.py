@@ -14,7 +14,7 @@ floats -- and offers:
   slices, the swap/checkpoint/rebalance timeline per series, the
   gate-rejection breakdown, the payback-distance distribution,
   time-to-first-swap, and adaptation-overhead fractions;
-* a **trace invariant linter** (:func:`lint`, codes ``TL001``-``TL006``)
+* a **trace invariant linter** (:func:`lint`, codes ``TL001``-``TL007``)
   that checks the structural guarantees every later analysis relies on.
 
 Everything here is deterministic: outputs depend only on record content
@@ -43,6 +43,8 @@ TRACE_RULES = {
     "TL005": "metrics registry agrees with the trace (epochs, moves, "
              "iterations, payback observations)",
     "TL006": "every trace line parses as one JSON record",
+    "TL007": "every revocation of an active host is followed by a "
+             "recovery or a declared stall for that host",
 }
 
 #: Float tolerance for slice-overlap comparisons (sim times are exact
@@ -514,6 +516,41 @@ def _lint_slice_overlap(key, records, findings) -> None:
                 f"[{s0:g}, {e0:g}]", cell, series))
 
 
+def _resolves_revocation(record: dict, host) -> bool:
+    """Whether ``record`` accounts for a revocation of ``host``."""
+    kind = record.get("kind")
+    if kind == "fault.stall":
+        return record.get("host") == host
+    if kind == "fault.recovery":
+        return (record.get("host") == host
+                or record.get("out_host") == host
+                or host in record.get("hosts", ()))
+    return False
+
+
+def _lint_fault_accounting(key, records, findings) -> None:
+    """TL007: a revocation is later recovered from or declared a stall.
+
+    Strategies emit ``fault.revocation`` only when a revocation hits a
+    host they are actively computing on, so every such record must be
+    resolved -- in the same row, at the same or a later position -- by a
+    ``fault.recovery`` (promotion, restart, repartition, or a host
+    return that resolved it) or a declared ``fault.stall`` naming the
+    same host.
+    """
+    cell, series = key
+    for index, record in enumerate(records):
+        if record.get("kind") != "fault.revocation":
+            continue
+        host = record.get("host")
+        if not any(_resolves_revocation(later, host)
+                   for later in records[index + 1:]):
+            findings.append(LintFinding(
+                "TL007", f"revocation of host {host} at "
+                f"t={as_float(record['t']):g} (record {index}) has no "
+                f"subsequent recovery or declared stall", cell, series))
+
+
 _GATE_KEYS = ("gate", "accepted", "reason", "out_host", "in_host")
 
 
@@ -625,6 +662,7 @@ def lint(ts: TraceSet, metrics=None) -> "list[LintFinding]":
         _lint_row_times(key, records, findings)
         _lint_swap_provenance(key, records, findings)
         _lint_slice_overlap(key, records, findings)
+        _lint_fault_accounting(key, records, findings)
     for index, record in enumerate(ts.records):
         if record.get("kind") == "decision":
             _lint_gate_trail(record, index, findings)

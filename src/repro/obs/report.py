@@ -184,7 +184,7 @@ def render_markdown(ts: TraceSet, metrics=None, findings=None,
     if findings:
         lines += [f"- `{finding.code}` {finding}" for finding in findings]
     else:
-        lines.append("All TL invariants hold (TL001-TL006): clean.")
+        lines.append("All TL invariants hold (TL001-TL007): clean.")
     lines.append("")
     return "\n".join(lines)
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.errors import PlatformError
+from repro.faults.plan import FaultModel, FaultPlan
 from repro.load.base import LoadModel
 from repro.platform.host import Host, HostSpec
 from repro.platform.network import LinkSpec
@@ -40,6 +41,10 @@ class Platform:
     link: LinkSpec = field(default_factory=LinkSpec)
     startup_per_process: float = DEFAULT_STARTUP_PER_PROCESS
     """MPI launch cost per allocated process, in seconds."""
+    faults: "FaultPlan | None" = None
+    """Shared fault plan (revocations, transfer failures, store outages);
+    ``None`` -- the default -- means a fault-free environment and leaves
+    every strategy on its exact pre-fault code path."""
 
     def __post_init__(self) -> None:
         if not self.hosts:
@@ -79,6 +84,7 @@ def make_platform(n_hosts: int,
                   link: LinkSpec | None = None,
                   horizon: float = HOUR,
                   startup_per_process: float = DEFAULT_STARTUP_PER_PROCESS,
+                  fault_model: FaultModel | None = None,
                   ) -> Platform:
     """Build the paper's heterogeneous time-shared platform.
 
@@ -100,6 +106,11 @@ def make_platform(n_hosts: int,
         Initial load-trace materialization horizon in seconds.
     startup_per_process:
         MPI launch cost per process.
+    fault_model:
+        Optional :class:`~repro.faults.plan.FaultModel`; when given, the
+        platform carries one realized :class:`FaultPlan` (streams derived
+        from the same root ``seed`` under the ``"faults"`` key) shared by
+        every strategy that runs on it.
     """
     if n_hosts < 1:
         raise PlatformError(f"need at least one host, got {n_hosts}")
@@ -126,5 +137,10 @@ def make_platform(n_hosts: int,
         hosts.append(Host(spec, registry.stream("load", "host", i),
                           horizon=horizon, index=i))
 
+    faults = None
+    if fault_model is not None:
+        faults = fault_model.build(registry.spawn("faults"), n_hosts)
+
     return Platform(hosts=hosts, link=link or LinkSpec(),
-                    startup_per_process=startup_per_process)
+                    startup_per_process=startup_per_process,
+                    faults=faults)

@@ -13,6 +13,15 @@ Unlike SWAP, CR is not restricted to pairwise exchanges: a restart may
 move the whole application to the ``N`` currently-fastest hosts of the
 pool.  It pays for that freedom with a much larger reconfiguration cost
 (2 x N state images over the shared link, plus startup).
+
+Under fault injection the checkpoint doubles as the recovery mechanism:
+when an active host is revoked, CR re-reads the last checkpoint from the
+central store (waiting out a store outage first, if one is in progress)
+and restarts on the ``N`` fastest *surviving* hosts -- paying the read
+plus MPI startup, but not the write (the checkpoint already exists; the
+interrupted iteration's partial work is lost and re-runs).  Performance
+restarts are additionally gated on store availability: a migration whose
+checkpoint write would hit an outage is deferred to a later epoch.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from repro import obs
 from repro.app.iterative import ApplicationSpec
 from repro.core.decision import evaluate_reconfiguration
 from repro.core.policy import PolicyParams, greedy_policy
+from repro.faults import recovery
 from repro.platform.cluster import Platform
 from repro.strategies.base import ExecutionResult, IterationRecord, Strategy
 from repro.strategies.scheduler import initial_schedule
@@ -43,9 +53,17 @@ class CrStrategy(Strategy):
         read = platform.link.serialized_time(n * app.state_bytes, n)
         return write + platform.startup_time(n) + read
 
+    def recovery_cost(self, platform: Platform, app: ApplicationSpec) -> float:
+        """Fault restart: checkpoint read + MPI startup (no write -- the
+        checkpoint already sits in the central store)."""
+        n = app.n_processes
+        read = platform.link.serialized_time(n * app.state_bytes, n)
+        return read + platform.startup_time(n)
+
     def run(self, platform: Platform, app: ApplicationSpec) -> ExecutionResult:
         self.check_fit(platform, app)
         result = ExecutionResult(strategy=self.name, app=app)
+        plan = platform.faults
 
         active = initial_schedule(platform, app.n_processes, t=0.0)
         comm_time = self.comm_time(platform, app)
@@ -56,12 +74,32 @@ class CrStrategy(Strategy):
         result.startup_time = t
         result.progress.record(t, 0, "startup")
 
-        for i in range(1, app.iterations + 1):
+        i = 1
+        while i <= app.iterations:
+            if plan is not None:
+                victims = plan.revoked_at(t, active)
+                if victims:
+                    t, active = self._fault_restart(plan, platform, app,
+                                                    result, t, i, victims)
             iter_start = t
             ran_on = tuple(active)
             chunks = {h: chunk for h in active}
-            compute_end, iter_end = self.run_iteration(platform, chunks, t,
-                                                       comm_time)
+            if plan is None:
+                compute_end, iter_end = self.run_iteration(platform, chunks,
+                                                           t, comm_time)
+            else:
+                compute_end = max(
+                    recovery.compute_finish(platform, h, t, flops)
+                    for h, flops in chunks.items())
+                onset = plan.earliest_onset(active, t, compute_end)
+                if onset is not None:
+                    # Mid-iteration interruption: partial work is lost;
+                    # restart from the last checkpoint and re-run i.
+                    onset_t, hit = onset
+                    t, active = self._fault_restart(plan, platform, app,
+                                                    result, onset_t, i, hit)
+                    continue
+                iter_end = compute_end + comm_time
             t = iter_end
             result.progress.record(t, i, "iteration")
             obs.emit("iteration", iter_end, source=self.name, iteration=i,
@@ -74,9 +112,8 @@ class CrStrategy(Strategy):
             if i < app.iterations:
                 rates = self.predicted_rates(platform, t,
                                              self.policy.history_window)
-                candidate = initial_schedule(platform, app.n_processes, t=t,
-                                             window=self.policy.history_window)
-                if set(candidate) != set(active):
+                candidate = self._candidate_set(platform, app, t, plan)
+                if candidate is not None and set(candidate) != set(active):
                     old_iter = max(chunk / rates[h] for h in active) + comm_time
                     new_iter = max(chunk / rates[h] for h in candidate) + comm_time
                     check = evaluate_reconfiguration(old_iter, new_iter, cost,
@@ -85,7 +122,15 @@ class CrStrategy(Strategy):
                                    policy=self.policy.name, check=check,
                                    cost=cost, active=active,
                                    candidate=candidate)
-                    if check.accepted:
+                    if check.accepted and plan is not None \
+                            and not plan.store_available(t):
+                        # The checkpoint write would hit the outage:
+                        # defer the migration to a later epoch.
+                        obs.emit("fault.store_outage", t, source=self.name,
+                                 iteration=i, action="deferred",
+                                 until=plan.store_ready_time(t))
+                        obs.count("faults.store_outage_deferrals_total")
+                    elif check.accepted:
                         overhead = cost
                         event = "checkpoint"
                         active = candidate
@@ -102,7 +147,80 @@ class CrStrategy(Strategy):
                 index=i, start=iter_start, compute_end=compute_end,
                 end=iter_end, active=ran_on, overhead_after=overhead,
                 event=event))
+            i += 1
 
         result.makespan = t
         result.final_active = tuple(active)
         return result
+
+    # -- helpers -----------------------------------------------------------
+
+    def _candidate_set(self, platform, app, t, plan):
+        """The ``N`` fastest hosts eligible for a performance restart.
+
+        With faults in play, revoked hosts are not eligible; returns
+        ``None`` when fewer than ``N`` hosts are alive.
+        """
+        if plan is None:
+            return initial_schedule(platform, app.n_processes, t=t,
+                                    window=self.policy.history_window)
+        alive = [h for h in range(len(platform)) if not plan.is_revoked(h, t)]
+        if len(alive) < app.n_processes:
+            return None
+        rates = platform.effective_rates(t, window=self.policy.history_window,
+                                         indices=alive)
+        return sorted(alive, key=lambda h: (-rates[h], h))[:app.n_processes]
+
+    def _fault_restart(self, plan, platform, app, result, t, iteration,
+                       victims):
+        """Recover from revoked actives: re-read the checkpoint, restart.
+
+        Waits out checkpoint-store outages (and, if fewer than ``N``
+        hosts survive, host returns) before paying the recovery cost.
+        Returns the advanced ``(t, new_active)``.
+        """
+        for h in sorted(victims):
+            obs.emit("fault.revocation", t, source=self.name,
+                     iteration=iteration, host=h,
+                     until=plan.return_time(h, t))
+            obs.count("faults.revocations_total")
+        n = app.n_processes
+        pool = range(len(platform))
+        while True:
+            alive = [h for h in pool if not plan.is_revoked(h, t)]
+            if len(alive) >= n:
+                break
+            # Not enough survivors: a declared stall until a host returns.
+            ret = min(plan.return_time(h, t) for h in pool
+                      if plan.is_revoked(h, t))
+            for h in sorted(victims):
+                obs.emit("fault.stall", t, source=self.name,
+                         iteration=iteration, host=h, stalled=ret - t,
+                         reason="insufficient-hosts")
+                obs.count("faults.stalls_total")
+                obs.count("faults.stall_seconds_total", ret - t)
+            result.overhead_time += ret - t
+            t = ret
+        ready = plan.store_ready_time(t)
+        if ready > t:
+            obs.emit("fault.store_outage", t, source=self.name,
+                     iteration=iteration, action="waited", until=ready,
+                     waited=ready - t)
+            obs.count("faults.store_outage_waits_total")
+            result.overhead_time += ready - t
+            t = ready
+        rates = platform.effective_rates(t, window=self.policy.history_window,
+                                         indices=alive)
+        candidate = sorted(alive, key=lambda h: (-rates[h], h))[:n]
+        cost = self.recovery_cost(platform, app)
+        start = t
+        t += cost
+        result.restart_count += 1
+        result.overhead_time += cost
+        obs.emit("fault.recovery", t, source=self.name, iteration=iteration,
+                 action="cr-restart", hosts=sorted(victims),
+                 new_active=list(candidate), cost=cost, start=start, end=t)
+        obs.count("faults.recoveries_total")
+        result.progress.record(t, iteration - 1, "checkpoint",
+                               "fault restart")
+        return t, candidate

@@ -11,12 +11,23 @@ The partition uses each host's performance *observed at the start of the
 iteration*; if the environment shifts mid-iteration the application "is
 left computing a lot of work on a (suddenly) slow processor" -- the
 behaviour behind DLB's poor showing in dynamic environments (Fig. 4).
+
+Under fault injection DLB shrinks onto the survivors: it allocates no
+spares, so when one of its members is revoked it repartitions the full
+iteration workload over the members still standing (at the same zero
+redistribution cost as its regular rebalances -- a lower bound, as the
+paper's DLB model is throughout).  A mid-iteration revocation interrupts
+the iteration at its onset (partial work lost, re-run on the survivors);
+a returning member rejoins the partition at the next boundary.  If every
+member is revoked at once the run stalls -- declared per member -- until
+the first one returns.
 """
 
 from __future__ import annotations
 
 from repro import obs
 from repro.app.iterative import ApplicationSpec
+from repro.faults import recovery
 from repro.platform.cluster import Platform
 from repro.strategies.base import ExecutionResult, IterationRecord, Strategy
 from repro.strategies.scheduler import initial_schedule
@@ -38,25 +49,53 @@ class DlbStrategy(Strategy):
     def run(self, platform: Platform, app: ApplicationSpec) -> ExecutionResult:
         self.check_fit(platform, app)
         result = ExecutionResult(strategy=self.name, app=app)
+        plan = platform.faults
 
-        active = initial_schedule(platform, app.n_processes, t=0.0)
+        members = initial_schedule(platform, app.n_processes, t=0.0)
+        down: "set[int]" = set()
         comm_time = self.comm_time(platform, app)
 
         t = platform.startup_time(app.n_processes)
         result.startup_time = t
         result.progress.record(t, 0, "startup")
 
-        for i in range(1, app.iterations + 1):
+        i = 1
+        while i <= app.iterations:
+            if plan is None:
+                active = members
+            else:
+                t = self._sync_membership(plan, members, down, t, i, result)
+                active = [h for h in members if h not in down]
             rates = self.predicted_rates(platform, t, self.measurement_window,
                                          indices=active)
-            chunks = app.proportional_chunks(rates)
+            if plan is None:
+                chunks = app.proportional_chunks(rates)
+            else:
+                total_rate = sum(rates.values())
+                chunks = {h: app.flops_per_iteration * rates[h] / total_rate
+                          for h in active}
             if obs.active() is not None:
                 obs.emit("rebalance", t, source=self.name, iteration=i,
                          chunks={str(h): chunks[h] for h in active},
                          rates={str(h): rates[h] for h in active})
                 obs.count("dlb.rebalances_total")
-            compute_end, iter_end = self.run_iteration(platform, chunks, t,
-                                                       comm_time)
+            if plan is None:
+                compute_end, iter_end = self.run_iteration(platform, chunks,
+                                                           t, comm_time)
+            else:
+                compute_end = max(
+                    recovery.compute_finish(platform, h, t, flops)
+                    for h, flops in chunks.items())
+                onset = plan.earliest_onset(active, t, compute_end)
+                if onset is not None:
+                    # Mid-iteration interruption: drop the victims and
+                    # re-run the iteration on the survivors.
+                    onset_t, hit = onset
+                    for h in sorted(hit):
+                        self._drop_member(plan, down, onset_t, i, h, result)
+                    t = onset_t
+                    continue
+                iter_end = compute_end + comm_time
             result.records.append(IterationRecord(
                 index=i, start=t, compute_end=compute_end, end=iter_end,
                 active=tuple(active)))
@@ -66,7 +105,51 @@ class DlbStrategy(Strategy):
             obs.count("strategy.iterations_total")
             t = iter_end
             result.progress.record(t, i, "iteration")
+            i += 1
 
         result.makespan = t
-        result.final_active = tuple(active)
+        result.final_active = tuple(h for h in members if h not in down)
         return result
+
+    # -- fault handling ----------------------------------------------------
+
+    def _drop_member(self, plan, down, t, iteration, host, result) -> None:
+        """Declare ``host`` revoked and repartition over the survivors."""
+        obs.emit("fault.revocation", t, source=self.name, iteration=iteration,
+                 host=host, until=plan.return_time(host, t))
+        obs.count("faults.revocations_total")
+        down.add(host)
+        obs.emit("fault.recovery", t, source=self.name, iteration=iteration,
+                 action="dlb-repartition", hosts=[host], cost=0.0)
+        obs.count("faults.recoveries_total")
+        result.progress.record(t, iteration - 1, "stall",
+                               f"host{host} revoked, repartition")
+
+    def _sync_membership(self, plan, members, down, t, i, result) -> float:
+        """Boundary membership update: drop newly revoked members, rejoin
+        returned ones; if nobody is left, stall until the first return."""
+        for h in members:
+            if plan.is_revoked(h, t):
+                if h not in down:
+                    self._drop_member(plan, down, t, i, h, result)
+            elif h in down:
+                down.discard(h)
+                obs.emit("fault.return", t, source=self.name, iteration=i,
+                         host=h)
+                obs.count("faults.returns_total")
+        while all(h in down for h in members):
+            ret = min(plan.return_time(h, t) for h in members)
+            for h in sorted(members):
+                obs.emit("fault.stall", t, source=self.name, iteration=i,
+                         host=h, stalled=ret - t, reason="all-revoked")
+                obs.count("faults.stalls_total")
+                obs.count("faults.stall_seconds_total", ret - t)
+            result.overhead_time += ret - t
+            t = ret
+            for h in members:
+                if not plan.is_revoked(h, t) and h in down:
+                    down.discard(h)
+                    obs.emit("fault.return", t, source=self.name, iteration=i,
+                             host=h)
+                    obs.count("faults.returns_total")
+        return t

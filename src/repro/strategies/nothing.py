@@ -2,12 +2,19 @@
 
 Allocate exactly ``N`` processors (the fastest at startup), partition the
 data equally, and run every iteration on them regardless of external load.
+
+Under fault injection NOTHING cannot adapt either: a revoked active host
+stalls the whole application (the BSP barrier waits) until the host is
+returned, and every such stall is *declared* -- a ``fault.stall`` trace
+record per revocation -- so the TL007 lint rule can check that no
+revocation of an active host goes unaccounted.
 """
 
 from __future__ import annotations
 
 from repro import obs
 from repro.app.iterative import ApplicationSpec
+from repro.faults import recovery
 from repro.platform.cluster import Platform
 from repro.strategies.base import ExecutionResult, IterationRecord, Strategy
 from repro.strategies.scheduler import initial_schedule
@@ -21,6 +28,7 @@ class NothingStrategy(Strategy):
     def run(self, platform: Platform, app: ApplicationSpec) -> ExecutionResult:
         self.check_fit(platform, app)
         result = ExecutionResult(strategy=self.name, app=app)
+        plan = platform.faults
 
         active = initial_schedule(platform, app.n_processes, t=0.0)
         chunks = app.equal_chunks(active)
@@ -31,8 +39,16 @@ class NothingStrategy(Strategy):
         result.progress.record(t, 0, "startup")
 
         for i in range(1, app.iterations + 1):
-            compute_end, iter_end = self.run_iteration(platform, chunks, t,
-                                                       comm_time)
+            if plan is None:
+                compute_end, iter_end = self.run_iteration(
+                    platform, chunks, t, comm_time)
+            else:
+                # Revoked hosts pause; the barrier stalls until they return.
+                compute_end = max(
+                    recovery.compute_finish(platform, h, t, flops)
+                    for h, flops in chunks.items())
+                iter_end = compute_end + comm_time
+                self._declare_stalls(plan, active, t, compute_end, i, result)
             result.records.append(IterationRecord(
                 index=i, start=t, compute_end=compute_end, end=iter_end,
                 active=tuple(active)))
@@ -46,3 +62,29 @@ class NothingStrategy(Strategy):
         result.makespan = t
         result.final_active = tuple(active)
         return result
+
+    def _declare_stalls(self, plan, active, start, compute_end, iteration,
+                        result) -> None:
+        """Emit a revocation + declared stall per revocation overlapping
+        the compute phase (NOTHING's only possible reaction).
+
+        Events are sorted by time across hosts so the trace row stays
+        monotonic (TL001).
+        """
+        events = []
+        for h in active:
+            for onset, until in plan.revocations_in(h, start, compute_end):
+                stalled = min(until, compute_end) - max(onset, start)
+                if stalled > 0.0:
+                    events.append((max(onset, start), h, onset, until, stalled))
+        for detect, h, onset, until, stalled in sorted(events):
+            obs.emit("fault.revocation", detect, source=self.name,
+                     iteration=iteration, host=h, onset=onset, until=until)
+            obs.count("faults.revocations_total")
+            obs.emit("fault.stall", detect, source=self.name,
+                     iteration=iteration, host=h, stalled=stalled,
+                     reason="no-adaptation")
+            obs.count("faults.stalls_total")
+            obs.count("faults.stall_seconds_total", stalled)
+            result.progress.record(detect, iteration, "stall",
+                                   f"host{h} revoked")

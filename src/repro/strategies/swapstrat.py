@@ -8,6 +8,17 @@ the fastest spare(s) if the policy's gates pass.  A swap pauses the whole
 application while the process state images cross the shared link
 ("data redistribution is not allowed", so the incoming process inherits
 the outgoing process's chunk unchanged).
+
+Under fault injection the spare pool doubles as a fault-tolerance
+mechanism: when an active host is revoked, SWAP *forces* a promotion of
+the fastest surviving spare, paying the normal ``alpha + size/beta`` swap
+cost per state image with retry gating for transient transfer failures
+(each failed attempt times out after a full transfer duration).  A
+revocation detected mid-iteration interrupts the iteration at its onset:
+the partial work is lost and the iteration re-runs on the repaired set.
+If no live spare remains -- or the retries are exhausted -- the stall is
+*declared* (a ``fault.stall`` record) and the application waits for the
+host to return, exactly like NOTHING.
 """
 
 from __future__ import annotations
@@ -16,6 +27,9 @@ from repro import obs
 from repro.app.iterative import ApplicationSpec
 from repro.core.decision import decide_swaps
 from repro.core.policy import PolicyParams, greedy_policy
+from repro.faults import recovery
+from repro.faults.recovery import (TransferSequencer, attempt_transfer,
+                                   promote_spares)
 from repro.platform.cluster import Platform
 from repro.strategies.base import ExecutionResult, IterationRecord, Strategy
 from repro.strategies.scheduler import initial_schedule
@@ -33,6 +47,9 @@ class SwapStrategy(Strategy):
     def run(self, platform: Platform, app: ApplicationSpec) -> ExecutionResult:
         self.check_fit(platform, app)
         result = ExecutionResult(strategy=self.name, app=app)
+        plan = platform.faults
+        sequencer = TransferSequencer()
+        declared_until: "dict[int, float]" = {}
 
         pool = list(range(len(platform)))
         active = initial_schedule(platform, app.n_processes, t=0.0)
@@ -45,11 +62,39 @@ class SwapStrategy(Strategy):
         result.startup_time = t
         result.progress.record(t, 0, "startup")
 
-        for i in range(1, app.iterations + 1):
+        i = 1
+        while i <= app.iterations:
+            if plan is not None:
+                # Boundary recovery: replace actives revoked right now
+                # (skipping hosts whose stall was already declared).
+                victims = [h for h in plan.revoked_at(t, active)
+                           if declared_until.get(h, -1.0) <= t]
+                if victims:
+                    t, active, chunks = self._recover(
+                        plan, platform, result, sequencer, t, i, pool,
+                        active, chunks, victims, swap_cost_one,
+                        declared_until)
             iter_start = t
             ran_on = tuple(active)
-            compute_end, iter_end = self.run_iteration(platform, chunks, t,
-                                                       comm_time)
+            if plan is None:
+                compute_end, iter_end = self.run_iteration(platform, chunks,
+                                                           t, comm_time)
+            else:
+                compute_end = max(
+                    recovery.compute_finish(platform, h, t, flops)
+                    for h, flops in chunks.items())
+                watch = [h for h in active if not plan.is_revoked(h, t)]
+                onset = plan.earliest_onset(watch, t, compute_end)
+                if onset is not None:
+                    # Mid-iteration interruption: the attempt's partial
+                    # work is lost; recover at the onset and re-run i.
+                    onset_t, hit = onset
+                    t, active, chunks = self._recover(
+                        plan, platform, result, sequencer, onset_t, i,
+                        pool, active, chunks, hit, swap_cost_one,
+                        declared_until)
+                    continue
+                iter_end = compute_end + comm_time
             t = iter_end
             result.progress.record(t, i, "iteration")
             obs.emit("iteration", iter_end, source=self.name, iteration=i,
@@ -61,6 +106,9 @@ class SwapStrategy(Strategy):
             event = ""
             if i < app.iterations:  # no point swapping after the last one
                 spares = [h for h in pool if h not in active]
+                if plan is not None:
+                    # A revoked spare is not a viable swap-in candidate.
+                    spares = [h for h in spares if not plan.is_revoked(h, t)]
                 rates = self.predicted_rates(platform, t,
                                              self.policy.history_window)
                 decision = decide_swaps(active, spares, rates, chunks,
@@ -71,34 +119,152 @@ class SwapStrategy(Strategy):
                                       decision=decision,
                                       active=active, spares=spares)
                 if decision.should_swap:
-                    n_moves = len(decision.moves)
-                    # Transfers of all swapped state images serialize on
-                    # the single shared link.
-                    overhead = platform.link.serialized_time(
-                        n_moves * app.state_bytes, n_moves)
-                    event = "swap"
-                    detail = ", ".join(f"{m.out_host}->{m.in_host}"
-                                       for m in decision.moves)
-                    active = decision.active_set_after(active)
-                    chunks = {h: app.chunk_flops for h in active}
-                    result.swap_count += n_moves
-                    result.overhead_time += overhead
-                    t += overhead
-                    result.progress.record(t, i, "swap", detail)
-                    for move in decision.moves:
-                        obs.emit("swap", t, source=self.name, iteration=i,
-                                 out_host=move.out_host,
-                                 in_host=move.in_host,
-                                 process_improvement=move.process_improvement,
-                                 app_improvement=move.app_improvement,
-                                 payback=move.payback,
-                                 start=iter_end, end=t)
+                    if plan is None:
+                        moves = decision.moves
+                        n_moves = len(moves)
+                        # Transfers of all swapped state images serialize
+                        # on the single shared link.
+                        overhead = platform.link.serialized_time(
+                            n_moves * app.state_bytes, n_moves)
+                        active = decision.active_set_after(active)
+                    else:
+                        moves, overhead = self._attempt_moves(
+                            plan, sequencer, decision.moves, platform.link,
+                            app.state_bytes, t, i)
+                        for move in moves:
+                            active = [move.in_host if h == move.out_host
+                                      else h for h in active]
+                    if moves:
+                        event = "swap"
+                        detail = ", ".join(f"{m.out_host}->{m.in_host}"
+                                           for m in moves)
+                        chunks = {h: app.chunk_flops for h in active}
+                        result.swap_count += len(moves)
+                        result.overhead_time += overhead
+                        t += overhead
+                        result.progress.record(t, i, "swap", detail)
+                        for move in moves:
+                            obs.emit("swap", t, source=self.name, iteration=i,
+                                     out_host=move.out_host,
+                                     in_host=move.in_host,
+                                     process_improvement=move.process_improvement,
+                                     app_improvement=move.app_improvement,
+                                     payback=move.payback,
+                                     start=iter_end, end=t)
+                    elif overhead > 0.0:
+                        # Every accepted move failed its transfer; the
+                        # pause was still paid.
+                        result.overhead_time += overhead
+                        t += overhead
 
             result.records.append(IterationRecord(
                 index=i, start=iter_start, compute_end=compute_end,
                 end=iter_end, active=ran_on, overhead_after=overhead,
                 event=event))
+            i += 1
 
         result.makespan = t
         result.final_active = tuple(active)
         return result
+
+    # -- fault recovery ----------------------------------------------------
+
+    def _recover(self, plan, platform, result, sequencer, t, iteration,
+                 pool, active, chunks, victims, swap_cost_one,
+                 declared_until):
+        """Forced promotion of the fastest surviving spares.
+
+        Emits one ``fault.revocation`` per victim, then resolves each:
+        a successful promotion emits ``fault.recovery`` (and counts as a
+        swap), a failed or impossible one a declared ``fault.stall``.
+        Returns the advanced ``(t, active, chunks)``.
+        """
+        for h in sorted(victims):
+            obs.emit("fault.revocation", t, source=self.name,
+                     iteration=iteration, host=h,
+                     until=plan.return_time(h, t))
+            obs.count("faults.revocations_total")
+        spares = [h for h in pool
+                  if h not in active and not plan.is_revoked(h, t)]
+        rates = self.predicted_rates(platform, t, self.policy.history_window,
+                                     indices=spares)
+        promotions, unfilled = promote_spares(victims, spares, rates)
+        for out_host, in_host in promotions:
+            start = t
+            elapsed, ok, attempts = attempt_transfer(plan, sequencer,
+                                                     swap_cost_one)
+            t += elapsed
+            result.overhead_time += elapsed
+            if attempts > 1:
+                obs.count("faults.transfer_failures_total", attempts - 1)
+            if ok:
+                active = [in_host if h == out_host else h for h in active]
+                chunks = {in_host if h == out_host else h: f
+                          for h, f in chunks.items()}
+                result.swap_count += 1
+                obs.emit("fault.recovery", t, source=self.name,
+                         iteration=iteration, action="swap-promote",
+                         out_host=out_host, in_host=in_host,
+                         attempts=attempts, start=start, end=t)
+                obs.count("faults.recoveries_total")
+                result.progress.record(t, iteration - 1, "swap",
+                                       f"promote {out_host}->{in_host}")
+            else:
+                self._declare_stall(plan, result, t, iteration, out_host,
+                                    "transfer-failed", declared_until)
+        for h in unfilled:
+            self._declare_stall(plan, result, t, iteration, h, "no-spare",
+                                declared_until)
+        return t, active, chunks
+
+    def _declare_stall(self, plan, result, t, iteration, host, reason,
+                       declared_until) -> None:
+        """Give up on recovering ``host`` until its revocation ends."""
+        until = plan.return_time(host, t)
+        if until <= t:
+            # The host returned while we were retrying: resolved by wait.
+            obs.emit("fault.recovery", t, source=self.name,
+                     iteration=iteration, action="returned", host=host)
+            obs.count("faults.recoveries_total")
+            return
+        declared_until[host] = until
+        obs.emit("fault.stall", t, source=self.name, iteration=iteration,
+                 host=host, stalled=until - t, reason=reason)
+        obs.count("faults.stalls_total")
+        obs.count("faults.stall_seconds_total", until - t)
+        result.progress.record(t, iteration - 1, "stall",
+                               f"host{host} revoked ({reason})")
+
+    def _attempt_moves(self, plan, sequencer, moves, link, state_bytes, t,
+                       iteration):
+        """Run each accepted performance move through transfer retries.
+
+        Returns ``(applied_moves, total_overhead)``.  Failed moves are
+        dropped (the outgoing process keeps running) but their timed-out
+        attempts still cost link time: all attempt payloads -- successful
+        or not -- serialize on the shared link with one pipelined latency,
+        the exact batch formula of the fault-free path.  With every move
+        succeeding on its first attempt the overhead is therefore
+        bit-identical to ``serialized_time(n_moves * state_bytes,
+        n_moves)``.
+        """
+        applied = []
+        attempts_total = 0
+        overhead = 0.0
+        for move in moves:
+            # Cost 0 here: the whole batch is priced once, below.
+            _elapsed, ok, attempts = attempt_transfer(plan, sequencer, 0.0)
+            attempts_total += attempts
+            overhead = link.serialized_time(attempts_total * state_bytes,
+                                            attempts_total)
+            if attempts > 1:
+                obs.count("faults.transfer_failures_total", attempts - 1)
+            if ok:
+                applied.append(move)
+            else:
+                obs.emit("fault.transfer_failed", t + overhead,
+                         source=self.name, iteration=iteration,
+                         out_host=move.out_host, in_host=move.in_host,
+                         attempts=attempts)
+                obs.count("faults.transfer_aborts_total")
+        return applied, overhead

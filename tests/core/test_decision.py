@@ -205,6 +205,53 @@ def test_input_validation():
                      params=greedy_policy())
 
 
+# -- dead / revoked spares --------------------------------------------------------
+#
+# The caller (the SWAP strategy under fault injection) excises revoked
+# hosts from the spare list before deciding.  These pin the behaviors
+# that excision relies on.
+
+def test_excised_spare_falls_through_to_next_fastest():
+    # Host 2 is the fastest spare but revoked: with it filtered out the
+    # decision must promote the next-fastest spare, not give up.
+    rates = {0: 100.0, 1: 50.0, 2: 400.0, 3: 200.0}
+    decision = decide_swaps(active=[0, 1], spares=[3],  # 2 excised
+                            rates=rates, chunk_flops=equal_chunks([0, 1]),
+                            comm_time=0.0, swap_cost=1.0,
+                            params=greedy_policy())
+    assert [(m.out_host, m.in_host) for m in decision.moves] == [(1, 3)]
+
+
+def test_all_spares_revoked_means_no_swap_not_an_error():
+    rates = {0: 100.0, 1: 50.0}
+    decision = decide_swaps(active=[0, 1], spares=[], rates=rates,
+                            chunk_flops=equal_chunks([0, 1]),
+                            comm_time=0.0, swap_cost=1.0,
+                            params=greedy_policy())
+    assert not decision.should_swap
+    assert not decision.moves
+    assert decision.rejected_reason == ""  # pool exhausted, nothing gated
+
+
+def test_unfiltered_dead_spare_without_rate_is_rejected():
+    # A dead spare the caller forgot to excise has no predicted rate;
+    # that must surface as a loud error, not a silent bad decision.
+    rates = {0: 100.0, 1: 50.0, 3: 200.0}
+    with pytest.raises(PolicyError):
+        decide_swaps(active=[0, 1], spares=[2, 3], rates=rates,
+                     chunk_flops=equal_chunks([0, 1]), comm_time=0.0,
+                     swap_cost=1.0, params=greedy_policy())
+
+
+def test_zero_rate_dead_spare_is_rejected():
+    # Likewise a "present but dead" spare reported at rate 0.
+    rates = {0: 100.0, 1: 50.0, 2: 0.0}
+    with pytest.raises(PolicyError):
+        decide_swaps(active=[0, 1], spares=[2], rates=rates,
+                     chunk_flops=equal_chunks([0, 1]), comm_time=0.0,
+                     swap_cost=1.0, params=greedy_policy())
+
+
 # -- rejected_reason / gate trail -------------------------------------------------
 
 def test_rejection_after_committed_prefix_keeps_its_reason():

@@ -48,6 +48,24 @@ def test_newest_sample_always_kept():
     assert history.values(now=1e9) == [7.0]
 
 
+def test_reads_are_not_destructive():
+    # Regression: samples()/values() used to trim storage against the
+    # query time, so probing at a late ``now`` permanently discarded
+    # samples that an earlier-or-equal later read should still see.
+    history = filled(10.0, [(0.0, 1.0), (5.0, 2.0), (8.0, 3.0)])
+    assert history.values(now=20.0) == [3.0]  # late probe: windowed view
+    assert history.values(now=8.0) == [1.0, 2.0, 3.0]  # nothing was lost
+    assert history.samples() == [(0.0, 1.0), (5.0, 2.0), (8.0, 3.0)]
+    assert len(history) == 3
+
+
+def test_repeated_reads_are_idempotent():
+    history = filled(10.0, [(0.0, 1.0), (5.0, 2.0)])
+    first = history.values(now=30.0)
+    assert history.values(now=30.0) == first
+    assert history.values(now=30.0) == first
+
+
 def test_out_of_order_samples_rejected():
     history = filled(10.0, [(5.0, 1.0)])
     with pytest.raises(PolicyError):
@@ -128,6 +146,46 @@ def test_adaptive_picks_last_value_on_trend():
 def test_adaptive_needs_children():
     with pytest.raises(PolicyError):
         AdaptiveForecaster(children=[])
+
+
+class _CountingChild(LastValueForecaster):
+    """Child forecaster that tallies its predict() calls."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def predict(self, history, now):
+        self.calls += 1
+        return super().predict(history, now)
+
+
+def test_adaptive_scoring_is_incremental():
+    # Benchmark guard for the O(n^2)->O(n) fix: each recorded sample is
+    # scored exactly once, so interleaving n records with n predictions
+    # makes O(n) child calls, not a full replay per prediction.
+    child = _CountingChild()
+    forecaster = AdaptiveForecaster(children=[child])
+    history = PerformanceHistory(window=1e9)
+    n = 200
+    for t in range(n):
+        history.record(float(t), float(t))
+        forecaster.predict(history, float(t))
+    # Scoring: one call per sample after the first (n - 1).  Final
+    # prediction delegation: one call per predict with >= 2 samples.
+    assert child.calls <= 2 * n
+    # The O(n^2) replay would have cost ~n^2/2 scoring calls.
+    assert child.calls < n * n / 4
+
+
+def test_adaptive_scores_each_sample_once_across_predictions():
+    child = _CountingChild()
+    forecaster = AdaptiveForecaster(children=[child])
+    history = filled(1e9, [(float(t), 1.0) for t in range(50)])
+    forecaster.predict(history, 49.0)
+    after_first = child.calls
+    forecaster.predict(history, 49.0)
+    # No new samples: only the delegation call, no re-scoring.
+    assert child.calls == after_first + 1
 
 
 # -- monitor ----------------------------------------------------------------------

@@ -96,6 +96,17 @@ def test_empty_integration_window_rejected():
         trace.integrate_availability(5.0, 4.0)
 
 
+def test_integrate_availability_negative_start_rejected():
+    # Regression: a negative t0 used to be silently accepted (bisect
+    # wraps to the first segment), integrating over time that does not
+    # exist in the trace.
+    trace = make_trace([(10.0, 0), (10.0, 1)])
+    with pytest.raises(LoadModelError):
+        trace.integrate_availability(-5.0, 5.0)
+    with pytest.raises(LoadModelError):
+        trace.mean_availability(-5.0, 5.0)
+
+
 # -- advance_work ----------------------------------------------------------------
 
 def test_advance_work_unloaded_is_identity():
@@ -123,6 +134,12 @@ def test_advance_work_negative_demand_rejected():
     trace = make_trace([(10.0, 0)])
     with pytest.raises(LoadModelError):
         trace.advance_work(0.0, -1.0)
+
+
+def test_advance_work_negative_start_rejected():
+    trace = make_trace([(10.0, 0)])
+    with pytest.raises(LoadModelError):
+        trace.advance_work(-1.0, 5.0)
 
 
 def test_advance_work_extends_lazily_past_horizon():

@@ -226,7 +226,7 @@ def test_real_sweep_trace_lints_clean(fig4_session):
 
 
 def test_rule_table_covers_all_codes():
-    assert sorted(TRACE_RULES) == [f"TL00{i}" for i in range(1, 7)]
+    assert sorted(TRACE_RULES) == [f"TL00{i}" for i in range(1, 8)]
 
 
 def test_tl001_flags_time_regression():
@@ -341,6 +341,41 @@ def test_tl006_reports_unparseable_lines():
     findings = lint(ts)
     assert [f.code for f in findings] == ["TL006"]
     assert "line 2" in findings[0].message
+
+
+def test_tl007_flags_unresolved_revocation():
+    recorder = TraceRecorder()
+    recorder.set_context(scenario="s", x=0.0, seed=0, series="a")
+    recorder.emit("fault.revocation", 5.0, host=3, until=60.0)
+    findings = lint(TraceSet.from_recorder(recorder))
+    assert [f.code for f in findings] == ["TL007"]
+    assert "host 3" in findings[0].message
+
+
+def test_tl007_accepts_stall_or_recovery():
+    for resolver in ({"kind": "fault.stall", "host": 3, "stalled": 10.0,
+                      "reason": "no-spare"},
+                     {"kind": "fault.recovery", "action": "swap-promote",
+                      "out_host": 3, "in_host": 9},
+                     {"kind": "fault.recovery", "action": "cr-restart",
+                      "hosts": [3], "new_active": [9]},
+                     {"kind": "fault.recovery", "action": "returned",
+                      "host": 3}):
+        recorder = TraceRecorder()
+        recorder.set_context(scenario="s", x=0.0, seed=0, series="a")
+        recorder.emit("fault.revocation", 5.0, host=3, until=60.0)
+        recorder.emit(resolver.pop("kind"), 6.0, **resolver)
+        assert lint(TraceSet.from_recorder(recorder)) == []
+
+
+def test_tl007_resolution_must_match_host():
+    recorder = TraceRecorder()
+    recorder.set_context(scenario="s", x=0.0, seed=0, series="a")
+    recorder.emit("fault.revocation", 5.0, host=3, until=60.0)
+    recorder.emit("fault.stall", 6.0, host=4, stalled=10.0,
+                  reason="no-spare")
+    findings = lint(TraceSet.from_recorder(recorder))
+    assert [f.code for f in findings] == ["TL007"]
 
 
 def test_corrupted_sweep_trace_is_caught(fig4_session, tmp_path):

@@ -107,6 +107,31 @@ def test_total_bytes_delivered_conserved():
     assert link.active_flows == 0
 
 
+def test_conservation_under_float_hostile_concurrency():
+    # Regression guard: staggered flows with sizes chosen to leave
+    # epsilon residues (1/3-ish payloads, irrational-looking shares) must
+    # still deliver every byte exactly once and complete every flow
+    # exactly once -- the epsilon-completion path must not double-count.
+    sim = Simulator()
+    link = FairShareLink(sim, LinkSpec(latency=1e-3, bandwidth=7.0))
+    sizes = [100.0 / 3.0, 1e-9, 55.5555555, 1.0 / 7.0, 12345.6789,
+             2.0 ** -20, 99.999999999]
+    fired = {i: 0 for i in range(len(sizes))}
+
+    def launch():
+        for i, size in enumerate(sizes):
+            done = link.transfer(size)
+            done.add_callback(
+                lambda _ev, i=i: fired.__setitem__(i, fired[i] + 1))
+            yield sim.timeout(0.37)  # stagger: joins mid-flight
+
+    sim.process(launch())
+    sim.run()
+    assert link.active_flows == 0
+    assert link.bytes_delivered == pytest.approx(sum(sizes), rel=1e-12)
+    assert all(count == 1 for count in fired.values()), fired
+
+
 def test_makespan_bounded_by_serialization():
     """N concurrent equal flows finish exactly when a serialized batch
     would: fair sharing conserves work."""
