@@ -1,30 +1,36 @@
 """Command-line front end: ``python -m repro.analysis``.
 
-Examples
---------
+One umbrella over the four analyzer families, with a shared finding
+schema (:mod:`repro.analysis.schema`), shared suppression comments, and
+shared exit codes (0 clean, 1 findings, 2 usage error)::
 
-::
+    python -m repro.analysis lint src/            # SL: per-file AST lint
+    python -m repro.analysis flow                 # SF: interprocedural flow
+    python -m repro.analysis flow --effects-report  # the purity contract
+    python -m repro.analysis sanitize --seed 3    # SZ: runtime sanitizer
+    python -m repro.analysis trace lint t.jsonl   # TL: trace invariants
+    python -m repro.analysis rules                # every code, all families
+    python -m repro.analysis self-check           # the CI gate (SL+SZ+SF)
 
-    python -m repro.analysis src/                 # lint a tree
-    python -m repro.analysis src/ --format json   # machine-readable
-    python -m repro.analysis --list-rules         # the rule catalogue
-    python -m repro.analysis --sanitize --seed 3  # sanitized demo run
-    python -m repro.analysis --self-check         # CI gate: lint the
-                                                  # installed package and
-                                                  # sanitize the demo
-
-Exit status: 0 clean, 1 findings (or sanitizer errors), 2 usage error.
+The pre-umbrella spellings keep working: ``python -m repro.analysis
+src/`` lints paths, and ``--list-rules`` / ``--sanitize`` /
+``--self-check`` behave as before.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 from pathlib import Path
 
 from repro.analysis.linter import (findings_to_dict, format_json, format_text,
                                    lint_paths)
 from repro.analysis.rules import all_rules
+
+#: First-positional words routed to the subcommand interface; anything
+#: else falls through to the legacy parser (paths, flags).
+SUBCOMMANDS = ("lint", "flow", "sanitize", "trace", "rules", "self-check")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,10 +53,65 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --sanitize: raise at the first "
                              "error-severity finding")
     parser.add_argument("--self-check", action="store_true",
-                        help="lint the installed repro package and sanitize "
-                             "the demo scenario; nonzero on any finding "
-                             "(the CI gate)")
+                        help="lint the installed repro package, sanitize "
+                             "the demo scenario, and run the flow analyzer; "
+                             "nonzero on any finding (the CI gate)")
     return parser
+
+
+def build_subcommand_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Unified static/runtime analysis for the repro "
+                    "package (SL lint, SF flow, SZ sanitizer, TL trace).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="per-file AST lint (SL rules)")
+    lint.add_argument("paths", nargs="+")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+
+    flow = sub.add_parser(
+        "flow", help="interprocedural effect/determinism/units analysis "
+                     "(SF rules)")
+    flow.add_argument("root", nargs="?", default=None,
+                      help="package directory (default: the installed "
+                           "repro package)")
+    flow.add_argument("--package", default=None,
+                      help="package name for qualnames (default: the "
+                           "directory name)")
+    flow.add_argument("--format", choices=("text", "json"), default="text")
+    flow.add_argument("--baseline", metavar="FILE", default=None,
+                      help="previous --format json payload; matching "
+                           "findings (code, path, function) are filtered")
+    flow.add_argument("--effects-report", action="store_true",
+                      help="print the inferred effect-signature table for "
+                           "the contract scope instead of findings")
+
+    sanitize = sub.add_parser("sanitize",
+                              help="run the demo scenario under the "
+                                   "runtime sanitizer (SZ rules)")
+    sanitize.add_argument("--seed", type=int, default=0)
+    sanitize.add_argument("--strict", action="store_true")
+    sanitize.add_argument("--format", choices=("text", "json"),
+                          default="text")
+
+    trace = sub.add_parser("trace",
+                           help="trace analytics and TL invariant lint "
+                                "(forwards to python -m repro.obs)")
+    trace.add_argument("args", nargs=argparse.REMAINDER)
+
+    rules = sub.add_parser("rules",
+                           help="list every diagnostic code of every "
+                                "family (SL, SF, SZ, TL)")
+    rules.add_argument("--format", choices=("text", "json"), default="text")
+
+    check = sub.add_parser("self-check", help="the CI gate: lint + "
+                                              "sanitizer demo + flow")
+    check.add_argument("--format", choices=("text", "json"), default="text")
+    return parser
+
+
+# -- helpers shared by legacy and subcommand paths ---------------------------
 
 
 def _print_lint(findings, files_scanned, fmt: str) -> None:
@@ -58,6 +119,16 @@ def _print_lint(findings, files_scanned, fmt: str) -> None:
         print(format_json(findings, files_scanned))
     else:
         print(format_text(findings, files_scanned))
+
+
+def _run_lint(paths, fmt: str) -> int:
+    try:
+        findings, files_scanned = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}")
+        return 2
+    _print_lint(findings, files_scanned, fmt)
+    return 1 if findings else 0
 
 
 def _run_sanitize(seed: int, strict: bool, fmt: str) -> int:
@@ -77,10 +148,83 @@ def _run_sanitize(seed: int, strict: bool, fmt: str) -> int:
     return 1 if report.error_count else 0
 
 
-def _self_check(fmt: str) -> int:
+def _package_dir() -> Path:
     import repro
 
-    package_dir = Path(repro.__file__).resolve().parent
+    return Path(repro.__file__).resolve().parent
+
+
+def _run_flow(root: "str | None", package: "str | None", fmt: str,
+              baseline: "str | None", effects: bool) -> int:
+    from repro.analysis import flow as flowpkg
+
+    if root is None:
+        root_path = _package_dir()
+        package = package or "repro"
+    else:
+        root_path = Path(root)
+
+    baseline_keys = None
+    if baseline is not None:
+        try:
+            baseline_keys = flowpkg.load_baseline(baseline)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {baseline}: {exc}")
+            return 2
+
+    try:
+        result = flowpkg.analyze_package(root_path, package=package)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    if effects:
+        report = flowpkg.effects_report(result.analysis)
+        print(flowpkg.format_effects_report(report), end="")
+        return 0
+
+    findings = result.findings
+    if baseline_keys is not None:
+        findings = flowpkg.apply_baseline(findings, baseline_keys)
+    if fmt == "json":
+        print(flowpkg.format_flow_json(findings, result.functions_analyzed))
+    else:
+        print(flowpkg.format_flow_text(findings, result.functions_analyzed))
+    return 1 if findings else 0
+
+
+def _all_rule_catalogue() -> "list[tuple[str, str, str]]":
+    """(code, name, summary) for every family, sorted by code."""
+    from repro.analysis.flow.rules import FLOW_RULES
+    from repro.analysis.sanitizer import SANITIZER_RULES
+    from repro.obs.analyze import TRACE_RULES
+
+    rows = [(r.code, r.name, r.summary) for r in all_rules()]
+    rows += [(code, name, summary)
+             for code, (name, summary) in FLOW_RULES.items()]
+    rows += [(code, name, summary)
+             for code, (name, summary) in SANITIZER_RULES.items()]
+    rows += [(code, f"trace-{code.lower()}", summary)
+             for code, summary in TRACE_RULES.items()]
+    return sorted(rows)
+
+
+def _run_rules(fmt: str) -> int:
+    rows = _all_rule_catalogue()
+    if fmt == "json":
+        print(json.dumps([{"code": c, "name": n, "summary": s}
+                          for c, n, s in rows], indent=2))
+    else:
+        for code, name, summary in rows:
+            print(f"{code} {name}: {summary}")
+    return 0
+
+
+def _self_check(fmt: str) -> int:
+    from repro.analysis import flow as flowpkg
+    from repro.analysis.demo import run_demo
+
+    package_dir = _package_dir()
     findings, files_scanned = lint_paths([package_dir])
     # Report paths relative to the package root so output is stable
     # across checkouts.
@@ -88,23 +232,56 @@ def _self_check(fmt: str) -> int:
                        path=str(Path(f.path).relative_to(package_dir.parent)),
                        line=f.line, column=f.column) for f in findings]
 
-    from repro.analysis.demo import run_demo
-
     outcome = run_demo(0)
     report = outcome.report
+    flow_result = flowpkg.analyze_package(package_dir, package="repro")
+    failed = bool(rel or report.error_count or flow_result.findings)
+
     if fmt == "json":
         payload = findings_to_dict(rel, files_scanned)
         payload["sanitizer"] = report.to_dict()
+        payload["flow"] = flowpkg.flow_payload(
+            flow_result.findings, flow_result.functions_analyzed)
         print(json.dumps(payload, indent=2))
     else:
         _print_lint(rel, files_scanned, fmt)
         print(f"sanitizer demo: {report.error_count} errors, "
               f"{report.warning_count} warnings over "
               f"{report.events_processed} events")
-    return 1 if (rel or report.error_count) else 0
+        print(flowpkg.format_flow_text(flow_result.findings,
+                                       flow_result.functions_analyzed))
+    return 1 if failed else 0
+
+
+# -- entry points -------------------------------------------------------------
+
+
+def _main_subcommand(argv: "list[str]") -> int:
+    parser = build_subcommand_parser()
+    args = parser.parse_args(argv)
+    if args.command == "lint":
+        return _run_lint(args.paths, args.format)
+    if args.command == "flow":
+        return _run_flow(args.root, args.package, args.format,
+                         args.baseline, args.effects_report)
+    if args.command == "sanitize":
+        return _run_sanitize(args.seed, args.strict, args.format)
+    if args.command == "trace":
+        from repro.obs.__main__ import main as obs_main
+
+        return obs_main(args.args)
+    if args.command == "rules":
+        return _run_rules(args.format)
+    assert args.command == "self-check"
+    return _self_check(args.format)
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in SUBCOMMANDS:
+        return _main_subcommand(argv)
+
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -123,10 +300,4 @@ def main(argv: "list[str] | None" = None) -> int:
         parser.print_usage()
         return 2
 
-    try:
-        findings, files_scanned = lint_paths(args.paths)
-    except FileNotFoundError as exc:
-        print(f"error: {exc}")
-        return 2
-    _print_lint(findings, files_scanned, args.format)
-    return 1 if findings else 0
+    return _run_lint(args.paths, args.format)

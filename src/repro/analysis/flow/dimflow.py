@@ -1,0 +1,266 @@
+"""Interprocedural dimension inference (the dataflow behind SF005).
+
+Two entry points:
+
+* :func:`infer_return_dims` -- the fixed point assigning each function a
+  return dimension when every ``return`` expression agrees on one
+  (``LinkSpec.transfer_time`` returns seconds, ``WorkloadSpec.total_flops``
+  returns flop).  Runs alongside the effect fixed point.
+* :func:`check_function_dims` -- the per-function check pass: flags
+  ``+``/``-``/comparison between *known, different* dimensions, call
+  arguments contradicting dimension-named parameters, and assignments of
+  a dimensioned value to a variable whose name pins a different one.
+
+Both share :class:`DimEvaluator`, a best-effort expression evaluator
+over :mod:`repro.analysis.flow.dims`.  Unknown stays unknown; only
+certain contradictions surface.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.flow import dims
+from repro.analysis.flow.contracts import FlowContracts
+from repro.analysis.flow.graph import (FunctionInfo, ModuleInfo,
+                                       PackageIndex, _dotted_name)
+
+#: Builtins that pass their arguments' common dimension through.
+_DIM_PRESERVING = frozenset({"min", "max", "abs", "float", "round", "sum"})
+
+
+def _walk_scope(root: ast.AST):
+    """Walk a function body without descending into nested defs/classes."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class DimEvaluator:
+    """Evaluate an expression's dimension inside one function."""
+
+    def __init__(self, index: PackageIndex, mod: ModuleInfo,
+                 info: FunctionInfo,
+                 return_dims: "dict[str, tuple]") -> None:
+        self.index = index
+        self.mod = mod
+        self.info = info
+        self.return_dims = return_dims
+        self.env: "dict[str, tuple]" = {}
+        self._build_env()
+
+    def _build_env(self) -> None:
+        args = self.info.node.args
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            dim = dims.name_dim(arg.arg)
+            if dim is not None:
+                self.env[arg.arg] = dim
+        for _ in range(2):  # forward refs within a body settle
+            for node in _walk_scope(self.info.node):
+                if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)):
+                    dim = self.eval(node.value)
+                    if dim is not None:
+                        self.env[node.targets[0].id] = dim
+
+    # -- expression evaluation ------------------------------------------
+
+    def eval(self, expr: ast.AST) -> "tuple | None":
+        if isinstance(expr, ast.Constant):
+            return dims.SCALAR if isinstance(expr.value,
+                                             (int, float)) else None
+        if isinstance(expr, ast.Name):
+            if expr.id in self.env:
+                return self.env[expr.id]
+            return self._symbol_dim(expr.id) or dims.name_dim(expr.id)
+        if isinstance(expr, ast.Attribute):
+            dotted = _dotted_name(expr)
+            if dotted is not None:
+                unit = self._symbol_dim(dotted)
+                if unit is not None:
+                    return unit
+            return dims.name_dim(expr.attr)
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            left, right = self.eval(expr.left), self.eval(expr.right)
+            if isinstance(expr.op, ast.Mult):
+                return dims.mul(left, right)
+            if isinstance(expr.op, (ast.Div, ast.FloorDiv)):
+                return dims.div(left, right)
+            if isinstance(expr.op, (ast.Add, ast.Sub)):
+                return dims.combine_add(left, right)[0]
+            if isinstance(expr.op, ast.Mod):
+                return left
+            return None
+        if isinstance(expr, ast.IfExp):
+            body, orelse = self.eval(expr.body), self.eval(expr.orelse)
+            return body if body == orelse else None
+        if isinstance(expr, ast.Call):
+            return self._call_dim(expr)
+        return None
+
+    def _symbol_dim(self, dotted: str) -> "tuple | None":
+        """Dimension of a name resolving to a ``repro.units`` constant."""
+        resolved = self.index.resolve_name(self.mod, dotted)
+        if resolved is None:
+            return None
+        prefix = f"{self.index.package}.units."
+        if resolved.startswith(prefix):
+            return dims.UNIT_CONSTANT_DIMS.get(resolved[len(prefix):])
+        return None
+
+    def _call_dim(self, node: ast.Call) -> "tuple | None":
+        target = self.resolve_callee(node)
+        if target is not None:
+            return self.return_dims.get(target)
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _DIM_PRESERVING:
+            arg_dims = [self.eval(a) for a in node.args]
+            known = [d for d in arg_dims
+                     if d is not None and d != dims.SCALAR]
+            if known and all(d == known[0] for d in known):
+                return known[0]
+            return dims.SCALAR if arg_dims and all(
+                d == dims.SCALAR for d in arg_dims) else None
+        if isinstance(func, ast.Attribute):
+            return dims.name_dim(func.attr)
+        return None
+
+    def resolve_callee(self, node: ast.Call) -> "str | None":
+        """The in-package function a call resolves to, if determinable."""
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            resolved = self.index.resolve_name(self.mod, dotted)
+            if resolved in self.index.functions:
+                return resolved
+            if resolved in self.index.classes:
+                return None  # constructor: the dim of an instance is moot
+        if isinstance(node.func, ast.Attribute):
+            matches = self.index.subclass_methods(node.func.attr)
+            if len(matches) == 1:
+                return matches[0]
+        return None
+
+    # -- return-dim inference ---------------------------------------------
+
+    def return_dim(self) -> "tuple | None":
+        seen: "list[tuple | None]" = []
+        for node in _walk_scope(self.info.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                seen.append(self.eval(node.value))
+        known = [d for d in seen if d is not None]
+        if known and len(known) == len(seen) and all(
+                d == known[0] for d in known):
+            return known[0]
+        return None
+
+
+def infer_return_dims(index: PackageIndex,
+                      contracts: FlowContracts) -> "dict[str, tuple]":
+    """Fixed point over call edges; seeds from ``contracts.extra_dims``."""
+    return_dims: "dict[str, tuple]" = dict(contracts.extra_dims)
+    for _ in range(4):
+        changed = False
+        for qualname in sorted(index.functions):
+            info = index.functions[qualname]
+            evaluator = DimEvaluator(index, index.modules[info.module],
+                                     info, return_dims)
+            dim = evaluator.return_dim()
+            if dim is not None and return_dims.get(qualname) != dim:
+                return_dims[qualname] = dim
+                changed = True
+        if not changed:
+            break
+    return return_dims
+
+
+def check_function_dims(index: PackageIndex, info: FunctionInfo,
+                        return_dims: "dict[str, tuple]",
+                        ) -> "list[tuple[int, int, str]]":
+    """SF005 sites in one function: (line, column, message)."""
+    mod = index.modules[info.module]
+    ev = DimEvaluator(index, mod, info, return_dims)
+    out: "list[tuple[int, int, str]]" = []
+
+    def flag(node: ast.AST, message: str) -> None:
+        out.append((node.lineno, node.col_offset + 1, message))
+
+    for node in _walk_scope(info.node):
+        if isinstance(node, ast.BinOp) and isinstance(node.op,
+                                                      (ast.Add, ast.Sub)):
+            left, right = ev.eval(node.left), ev.eval(node.right)
+            _, legal = dims.combine_add(left, right)
+            if not legal:
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                flag(node, f"dimension mismatch: {dims.describe(left)} "
+                           f"{op} {dims.describe(right)}")
+        elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)):
+            left, right = ev.eval(node.target), ev.eval(node.value)
+            _, legal = dims.combine_add(left, right)
+            if not legal:
+                op = "+=" if isinstance(node.op, ast.Add) else "-="
+                flag(node, f"dimension mismatch: {dims.describe(left)} "
+                           f"{op} {dims.describe(right)}")
+        elif isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            ops = node.ops
+            for i, op in enumerate(ops):
+                if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+                                       ast.Eq, ast.NotEq)):
+                    continue
+                left, right = ev.eval(operands[i]), ev.eval(operands[i + 1])
+                _, legal = dims.combine_add(left, right)
+                if not legal:
+                    flag(node, f"dimension mismatch in comparison: "
+                               f"{dims.describe(left)} vs "
+                               f"{dims.describe(right)}")
+        elif isinstance(node, ast.Call):
+            out.extend(_check_call_args(index, ev, node))
+        elif (isinstance(node, ast.Assign) and len(node.targets) == 1
+              and isinstance(node.targets[0], ast.Name)):
+            named = dims.name_dim(node.targets[0].id)
+            value = ev.eval(node.value)
+            if (named is not None and value is not None
+                    and value not in (dims.SCALAR, named)):
+                flag(node, f"assigns {dims.describe(value)} to "
+                           f"{dims.describe(named)}-named variable "
+                           f"'{node.targets[0].id}'")
+    return out
+
+
+def _check_call_args(index: PackageIndex, ev: DimEvaluator,
+                     node: ast.Call) -> "list[tuple[int, int, str]]":
+    target = ev.resolve_callee(node)
+    if target is None:
+        return []
+    callee = index.functions[target]
+    args = callee.node.args
+    params = list(args.posonlyargs) + list(args.args)
+    if callee.cls is not None and params and params[0].arg in ("self",
+                                                               "cls"):
+        params = params[1:]
+    out: "list[tuple[int, int, str]]" = []
+    pairs = list(zip(params, node.args))
+    by_name = {p.arg: p for p in params + list(args.kwonlyargs)}
+    for kw in node.keywords:
+        if kw.arg in by_name:
+            pairs.append((by_name[kw.arg], kw.value))
+    for param, arg in pairs:
+        expected = dims.name_dim(param.arg)
+        actual = ev.eval(arg)
+        if (expected is not None and actual is not None
+                and actual not in (dims.SCALAR, expected)):
+            out.append((arg.lineno, arg.col_offset + 1,
+                        f"argument '{param.arg}' of "
+                        f"{callee.qualname.rsplit('.', 1)[-1]}() expects "
+                        f"{dims.describe(expected)}, got "
+                        f"{dims.describe(actual)}"))
+    return out

@@ -1,0 +1,119 @@
+"""Dimension algebra for rule SF005 (wrong-dimension arithmetic).
+
+A dimension is a vector of integer exponents over the package's three
+base quantities -- seconds, bytes, flop -- exactly the SI discipline
+:mod:`repro.units` documents.  ``bytes / (bytes/s) = s`` and
+``s * flop/s = flop`` fall out of exponent arithmetic.
+
+Sources of dimension facts:
+
+* the :mod:`repro.units` constants (``MB`` is bytes, ``HOUR`` seconds,
+  ``MFLOPS`` and ``GFLOPS`` flop/s, ``MB_S`` bytes/s);
+* identifier-name conventions on parameters, locals, and attributes
+  (``state_bytes``, ``comm_time``, ``chunk_flops``, ``bandwidth``);
+* interprocedural return dimensions, computed in the same fixed point
+  as the effect lattice (``LinkSpec.transfer_time`` returns seconds
+  because ``latency + nbytes / bandwidth`` does).
+
+Anything unknown stays unknown and never flags: SF005 only fires when
+two *known, different* dimensions meet under ``+``/``-``/comparison, or
+when a call argument's known dimension contradicts the parameter's.
+"""
+
+from __future__ import annotations
+
+#: A dimension: (seconds, bytes, flop) exponents.
+Dim = "tuple[int, int, int]"
+
+SECONDS: Dim = (1, 0, 0)
+BYTES: Dim = (0, 1, 0)
+FLOP: Dim = (0, 0, 1)
+BYTES_PER_S: Dim = (-1, 1, 0)
+FLOP_PER_S: Dim = (-1, 0, 1)
+SCALAR: Dim = (0, 0, 0)
+
+_NAMES = {SECONDS: "seconds", BYTES: "bytes", FLOP: "flop",
+          BYTES_PER_S: "bytes/s", FLOP_PER_S: "flop/s",
+          SCALAR: "dimensionless"}
+
+#: repro.units constant -> dimension.
+UNIT_CONSTANT_DIMS = {
+    "KB": BYTES, "MB": BYTES, "GB": BYTES,
+    "KIB": BYTES, "MIB": BYTES, "GIB": BYTES,
+    "SECOND": SECONDS, "MINUTE": SECONDS, "HOUR": SECONDS,
+    "MFLOPS": FLOP_PER_S, "GFLOPS": FLOP_PER_S,
+    "KB_S": BYTES_PER_S, "MB_S": BYTES_PER_S, "GB_S": BYTES_PER_S,
+}
+
+#: Exact identifier names carrying seconds.
+_SECONDS_NAMES = frozenset({
+    "t", "now", "when", "start", "end", "delay", "elapsed", "until",
+    "latency", "makespan", "duration", "deadline", "onset", "horizon",
+    "window", "timeout", "overhead", "seconds",
+})
+
+#: Exact identifier names carrying rates.
+_BYTES_PER_S_NAMES = frozenset({"bandwidth"})
+_FLOP_PER_S_NAMES = frozenset({"speed", "reference_speed"})
+
+
+def describe(dim: "Dim | None") -> str:
+    if dim is None:
+        return "unknown"
+    if dim in _NAMES:
+        return _NAMES[dim]
+    s, b, f = dim
+    return f"s^{s}*bytes^{b}*flop^{f}"
+
+
+#: Names whose suffix lies about their quantity (``int.from_bytes``
+#: returns an int, not a byte count).
+_NAME_DIM_BLACKLIST = frozenset({"from_bytes", "to_bytes"})
+
+
+def name_dim(identifier: str) -> "Dim | None":
+    """Dimension implied by an identifier name, or None."""
+    name = identifier.lower()
+    if name in _NAME_DIM_BLACKLIST:
+        return None
+    if name in _SECONDS_NAMES:
+        return SECONDS
+    if name in _BYTES_PER_S_NAMES or name.endswith("_per_s"):
+        return BYTES_PER_S
+    if name in _FLOP_PER_S_NAMES or name.endswith("speed"):
+        return FLOP_PER_S
+    if name.endswith("flops") or name == "flops":
+        return FLOP
+    if name.endswith("bytes") or name == "nbytes":
+        return BYTES
+    if (name.endswith(("_time", "_seconds", "_start", "_end", "_until",
+                       "_delay", "_duration", "_deadline", "_elapsed"))
+            or name.startswith(("t_", "time_"))):
+        return SECONDS
+    return None
+
+
+def mul(a: "Dim | None", b: "Dim | None") -> "Dim | None":
+    if a is None or b is None:
+        return None
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def div(a: "Dim | None", b: "Dim | None") -> "Dim | None":
+    if a is None or b is None:
+        return None
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def combine_add(a: "Dim | None", b: "Dim | None",
+                ) -> "tuple[Dim | None, bool]":
+    """Result dimension of ``a + b`` and whether the pairing is legal.
+
+    Unknown or dimensionless operands never conflict (numeric literals
+    like ``0`` are dimensionless and legitimately meet any quantity).
+    """
+    if a is None or b is None or a == SCALAR or b == SCALAR:
+        return (a if a not in (None, SCALAR) else b), True
+    if a == b:
+        return a, True
+    return None, False

@@ -1,12 +1,20 @@
 """``simlint``: the AST walk, suppression comments, and output shaping.
 
-Suppression syntax (checked against the *reported* line):
+Suppression syntax (checked against the *reported* line; the same
+comments silence the interprocedural :mod:`repro.analysis.flow`
+analyzer, so one directive can mix families --
+``disable=SL003,SF001``):
 
 * ``# simlint: disable=SL003`` -- suppress the listed codes on this line;
-* ``# simlint: disable=SL001,SL005`` -- several codes at once;
+* ``# simlint: disable=SL001,SF005`` -- several codes at once, any family;
 * ``# simlint: disable=all`` -- everything on this line;
 * ``# simlint: disable-file=SL003`` -- suppress for the whole file
   (conventionally placed near the top, with a justification comment).
+
+A suppression on any decorator line of a decorated ``def`` / ``class``
+also covers findings reported on the ``def`` line itself (rules that
+anchor to the definition, like SL006, are otherwise unreachable when a
+decorator owns the natural comment spot).
 
 Suppressions exist so that a *justified* exception can be recorded in
 place -- e.g. :mod:`repro.load.hyperexp` keeps a private ``heapq`` of
@@ -25,7 +33,7 @@ from typing import Iterable, Sequence
 from repro.analysis.rules import Finding, LintContext, Rule, all_rules
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*simlint:\s*disable(?P<file>-file)?\s*=\s*"
+    r"#\s*(?:simlint|simflow|repro-analysis):\s*disable(?P<file>-file)?\s*=\s*"
     r"(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
 
 #: Directory names never descended into when walking paths.
@@ -47,12 +55,42 @@ def _parse_suppressions(source: str) -> "tuple[dict[int, set[str]], set[str]]":
     return per_line, per_file
 
 
-def _suppressed(finding: Finding, per_line: "dict[int, set[str]]",
-                per_file: "set[str]") -> bool:
-    if "ALL" in per_file or finding.code in per_file:
-        return True
-    codes = per_line.get(finding.line, ())
-    return "ALL" in codes or finding.code in codes
+class SuppressionIndex:
+    """Per-module suppression lookup shared by simlint and simflow.
+
+    Built from the module source (and, when available, its AST so that
+    decorator-line suppressions extend to the decorated definition's
+    ``def`` line, where definition-anchored findings are reported).
+    """
+
+    def __init__(self, source: str, tree: "ast.Module | None" = None) -> None:
+        self._per_line, self._per_file = _parse_suppressions(source)
+        if tree is not None:
+            self._extend_decorated_defs(tree)
+
+    def _extend_decorated_defs(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                continue
+            if not node.decorator_list:
+                continue
+            first = min(d.lineno for d in node.decorator_list)
+            codes: "set[str]" = set()
+            for line in range(first, node.lineno):
+                codes |= self._per_line.get(line, set())
+            if codes:
+                self._per_line.setdefault(node.lineno, set()).update(codes)
+
+    def suppressed(self, code: str, line: int) -> bool:
+        if "ALL" in self._per_file or code in self._per_file:
+            return True
+        codes = self._per_line.get(line, ())
+        return "ALL" in codes or code in codes
+
+
+def _suppressed(finding: Finding, index: SuppressionIndex) -> bool:
+    return index.suppressed(finding.code, finding.line)
 
 
 def lint_source(source: str, path: str = "<string>",
@@ -79,8 +117,8 @@ def lint_source(source: str, path: str = "<string>",
         for rule in dispatch.get(type(node), ()):
             findings.extend(rule.check(node, ctx))
 
-    per_line, per_file = _parse_suppressions(source)
-    kept = [f for f in findings if not _suppressed(f, per_line, per_file)]
+    index = SuppressionIndex(source, tree)
+    kept = [f for f in findings if not _suppressed(f, index)]
     kept.sort(key=lambda f: (f.line, f.column, f.code))
     return kept
 
@@ -122,18 +160,10 @@ def lint_paths(paths: "Iterable[str | Path]",
 
 def findings_to_dict(findings: "Sequence[Finding]",
                      files_scanned: int) -> dict:
-    """The stable JSON payload of a lint run (schema version 1)."""
-    counts: "dict[str, int]" = {}
-    for finding in findings:
-        counts[finding.code] = counts.get(finding.code, 0) + 1
-    return {
-        "version": 1,
-        "tool": "simlint",
-        "files_scanned": files_scanned,
-        "finding_count": len(findings),
-        "counts_by_code": dict(sorted(counts.items())),
-        "findings": [f.to_dict() for f in findings],
-    }
+    """The stable JSON payload of a lint run (shared schema)."""
+    from repro.analysis.schema import findings_payload
+
+    return findings_payload("simlint", findings, files_scanned=files_scanned)
 
 
 def format_text(findings: "Sequence[Finding]", files_scanned: int) -> str:

@@ -332,13 +332,23 @@ class FloatTimeEqualityRule(Rule):
 # ---------------------------------------------------------------------------
 
 #: literal value -> the repro.units spelling that should replace it.
+#: Float and int keys that compare equal hash together, so ``300e6`` in
+#: source hits the ``300 * 10**6`` entry.
 _UNIT_LITERALS = {
-    10 ** 6: "units.MB (bytes) or units.MFLOPS (rates)",
-    10 ** 9: "units.GB (bytes) or units.GFLOPS (rates)",
+    10 ** 6: "units.MB (bytes), units.MFLOPS (flop/s), or units.MB_S "
+             "(bytes/s)",
+    10 ** 9: "units.GB (bytes), units.GFLOPS (flop/s), or units.GB_S "
+             "(bytes/s)",
     1 << 20: "units.MIB",
     1 << 30: "units.GIB",
     3600: "units.HOUR",          # simlint: disable=SL005 (rule table)
     86400: "24 * units.HOUR",    # simlint: disable=SL005 (rule table)
+    # Rates that appear in platform/app specs (100e6, 300e6, ...).
+    100 * 10 ** 6: "100 * units.MFLOPS (flop/s) or 100 * units.MB_S "
+                   "(bytes/s)",
+    250 * 10 ** 6: "250 * units.MFLOPS (flop/s)",
+    300 * 10 ** 6: "300 * units.MFLOPS (flop/s)",
+    350 * 10 ** 6: "350 * units.MFLOPS (flop/s)",
 }
 
 

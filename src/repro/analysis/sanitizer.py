@@ -50,6 +50,19 @@ from repro.simkernel.resources import Request, Resource
 _SEVERITIES = {"SZ101": "warning", "SZ102": "error", "SZ103": "error",
                "SZ104": "error", "SZ105": "error"}
 
+#: code -> (name, summary) catalogue for the ``rules`` subcommand.
+SANITIZER_RULES = {
+    "SZ101": ("event-tie", "same-(time, priority) event ties whose order "
+                           "is decided by insertion sequence alone"),
+    "SZ102": ("bad-delay", "negative, NaN, or infinite event delays"),
+    "SZ103": ("post-drain-schedule", "events scheduled after the run "
+                                     "drained; they will never fire"),
+    "SZ104": ("resource-leak", "a process terminating while holding a "
+                               "Resource slot"),
+    "SZ105": ("ambient-rng-draw", "runtime RNG draws bypassing "
+                                  "RngRegistry during a simulation"),
+}
+
 
 class SanitizerError(SimulationError):
     """A sanitizer check failed in strict mode."""

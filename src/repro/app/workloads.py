@@ -11,11 +11,11 @@ import numpy as np
 
 from repro.app.iterative import ApplicationSpec
 from repro.errors import StrategyError
-from repro.units import GB, KB, MB, MINUTE
+from repro.units import GB, KB, MB, MFLOPS, MINUTE
 
 
 def scaled_iteration_minutes(minutes: float, n_processes: int,
-                             reference_speed: float = 300e6) -> float:
+                             reference_speed: float = 300 * MFLOPS) -> float:
     """Total per-iteration flops so an unloaded iteration lasts ``minutes``.
 
     ``reference_speed`` is the speed of a mid-range host in the paper's

@@ -23,7 +23,7 @@ from repro.platform.cluster import make_platform
 from repro.simkernel.rng import RngRegistry
 from repro.strategies.nothing import NothingStrategy
 from repro.strategies.swapstrat import SwapStrategy
-from repro.units import GFLOPS, MB
+from repro.units import GFLOPS, MB, MFLOPS
 
 
 @dataclass
@@ -57,7 +57,8 @@ def fig1_payback(iterations: int = 20,
 
     def build():
         platform = make_platform(2, ConstantLoadModel(0), seed=0,
-                                 speed_range=(100e6, 100e6 + 1e-6))
+                                 speed_range=(100 * MFLOPS,
+                                              100 * MFLOPS + 1e-6))
         # Host 0: loaded forever (the process starts there because host 1
         # looks *worse* at startup and recovers immediately after).
         platform.hosts[0].trace = LoadTrace([0.0, 1e12], [1],
@@ -78,7 +79,7 @@ def fig1_payback(iterations: int = 20,
         raise RuntimeError("fig1 scenario produced no swap")
     pause_start, pause_end, _kind = pauses[0]
 
-    speed = 100e6
+    speed = 100 * MFLOPS
     old_iter = app.chunk_flops / (speed / 2.0)   # loaded: availability 1/2
     new_iter = app.chunk_flops / speed
     swap_cost = build().link.transfer_time(state_bytes)

@@ -41,7 +41,7 @@ from repro.strategies.cr import CrStrategy
 from repro.strategies.dlb import DlbStrategy
 from repro.strategies.nothing import NothingStrategy
 from repro.strategies.swapstrat import SwapStrategy
-from repro.units import GB, KB, MB
+from repro.units import GB, KB, MB, MFLOPS
 
 
 @dataclass(frozen=True)
@@ -90,7 +90,7 @@ DYNAMISM_GRID = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.85, 1.0)
 #: figures measure load adaptation rather than static speed heterogeneity
 #: (with equal chunks, a 5x speed spread would dominate every effect the
 #: paper studies).
-EVALUATION_SPEED_RANGE = (250e6, 350e6)
+EVALUATION_SPEED_RANGE = (250 * MFLOPS, 350 * MFLOPS)
 
 #: "Moderately dynamic" operating point for the Fig. 5 over-allocation
 #: sweep (the paper's "load probability of 0.2, which is moderately

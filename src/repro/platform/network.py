@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import PlatformError
 from repro.simkernel.events import Event
-from repro.units import MB
+from repro.units import MB_S
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simkernel.engine import Simulator
@@ -34,7 +34,7 @@ class LinkSpec:
 
     latency: float = 1e-3
     """One-way message latency alpha in seconds."""
-    bandwidth: float = 6 * MB
+    bandwidth: float = 6 * MB_S
     """Shared bandwidth beta in bytes/s (paper: 6 MB/s 100baseT LAN)."""
 
     def __post_init__(self) -> None:

@@ -113,7 +113,8 @@ class Simulator:
         for callback in callbacks:
             callback(event)
         self.processed_events += 1
-        _EVENTS_TOTAL[0] += 1
+        # Per-process diagnostics counter, never read by sim logic.
+        _EVENTS_TOTAL[0] += 1  # simflow: disable=SF001
         if not event.ok and not event._defused:
             exc = event.value
             raise exc

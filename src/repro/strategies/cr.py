@@ -90,7 +90,7 @@ class CrStrategy(Strategy):
             else:
                 compute_end = max(
                     recovery.compute_finish(platform, h, t, flops)
-                    for h, flops in chunks.items())
+                    for h, flops in sorted(chunks.items()))
                 onset = plan.earliest_onset(active, t, compute_end)
                 if onset is not None:
                     # Mid-iteration interruption: partial work is lost;

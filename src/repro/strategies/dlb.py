@@ -85,7 +85,7 @@ class DlbStrategy(Strategy):
             else:
                 compute_end = max(
                     recovery.compute_finish(platform, h, t, flops)
-                    for h, flops in chunks.items())
+                    for h, flops in sorted(chunks.items()))
                 onset = plan.earliest_onset(active, t, compute_end)
                 if onset is not None:
                     # Mid-iteration interruption: drop the victims and

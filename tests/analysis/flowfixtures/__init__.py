@@ -1,0 +1,8 @@
+"""A miniature package with one injected violation per SF rule.
+
+Never imported at runtime: the flow-analyzer tests parse this directory
+with :func:`repro.analysis.flow.analyze_package` under the fixture
+contracts defined in ``tests/analysis/test_flow_analyzer.py``.  Each
+module carries exactly the hazards its name advertises, so rule tests
+can assert precise (code, function) pairs.
+"""

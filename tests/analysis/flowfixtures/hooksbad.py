@@ -1,0 +1,19 @@
+"""Optional hook/session use without a None guard (SF006)."""
+
+from flowfixtures import kernel
+
+
+class Emitter:
+    def __init__(self):
+        self.hooks = None
+
+    def unguarded(self, event):
+        self.hooks.fire(event)
+
+    def guarded(self, event):
+        if self.hooks is not None:
+            self.hooks.fire(event)
+
+
+def chained():
+    return kernel.active().fire("x")

@@ -1,0 +1,10 @@
+"""A function the fixture contracts assume pure -- but it prints (SF004)."""
+
+
+def supposedly_pure(x):
+    print(x)
+    return x * 2
+
+
+def actually_pure(x):
+    return x + 1

@@ -1,0 +1,11 @@
+"""One unowned draw (SF002) next to a properly owned one (clean)."""
+
+import random
+
+
+def bad_draw():
+    return random.random()
+
+
+def good_draw(rng):
+    return rng.uniform(0.0, 1.0)

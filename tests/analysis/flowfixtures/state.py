@@ -1,0 +1,8 @@
+"""Shared mutable module state (the SF001 target)."""
+
+CACHE = {}
+
+
+def remember(key, value):
+    CACHE[key] = value
+    return value

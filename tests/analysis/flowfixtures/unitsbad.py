@@ -1,0 +1,9 @@
+"""Wrong-dimension arithmetic (SF005): seconds + bytes."""
+
+
+def mix(delay, nbytes):
+    return delay + nbytes
+
+
+def fine(delay, nbytes, bandwidth):
+    return delay + nbytes / bandwidth

@@ -43,6 +43,64 @@ def test_line_suppression_multiple_codes():
     assert lint_source(source) == []
 
 
+def test_line_suppression_mixes_families_on_one_line():
+    # One directive may carry codes from several analyzer families;
+    # simlint honours its own and ignores the rest.
+    source = FLAGGED.replace(
+        "return time.time()",
+        "return time.time()  # simlint: disable=SL001,SF002")
+    assert lint_source(source) == []
+
+
+def test_simflow_and_umbrella_prefixes_suppress_sl_codes():
+    for prefix in ("simflow", "repro-analysis"):
+        source = FLAGGED.replace(
+            "return time.time()",
+            f"return time.time()  # {prefix}: disable=SL001")
+        assert lint_source(source) == [], prefix
+
+
+def test_file_suppression_via_umbrella_prefix():
+    source = "# repro-analysis: disable-file=SL001\n" + FLAGGED
+    assert lint_source(source) == []
+
+
+def test_decorator_line_suppression_covers_the_def_line():
+    # SL006 anchors to the def line's mutable default; with a decorator
+    # stack, the comment naturally sits on a decorator line.
+    source = textwrap.dedent("""
+        import functools
+
+        @functools.lru_cache()  # simlint: disable=SL006
+        def cached(key, bucket=[]):
+            return bucket
+    """)
+    assert lint_source(source) == []
+
+
+def test_decorator_line_suppression_wrong_code_keeps_finding():
+    source = textwrap.dedent("""
+        import functools
+
+        @functools.lru_cache()  # simlint: disable=SL001
+        def cached(key, bucket=[]):
+            return bucket
+    """)
+    assert [f.code for f in lint_source(source)] == ["SL006"]
+
+
+def test_suppression_on_middle_decorator_of_a_stack():
+    source = textwrap.dedent("""
+        import functools
+
+        @functools.wraps(print)
+        @functools.lru_cache()  # simlint: disable=SL006
+        def cached(key, bucket=[]):
+            return bucket
+    """)
+    assert lint_source(source) == []
+
+
 def test_line_suppression_all_keyword():
     source = FLAGGED.replace(
         "return time.time()",
