@@ -8,11 +8,17 @@ regressions in the substrate show up before they distort study runtimes.
 
 import numpy as np
 
+from repro.app.iterative import ApplicationSpec
 from repro.core.decision import decide_swaps
 from repro.core.policy import greedy_policy
+from repro.load.kernels import advance_work_many, integrate_availability_many
 from repro.load.onoff import OnOffLoadModel
+from repro.platform.cluster import make_platform
 from repro.platform.network import FairShareLink, LinkSpec
 from repro.simkernel.engine import Simulator
+from repro.simkernel.plan import disable_lowering
+from repro.strategies.swapstrat import SwapStrategy
+from repro.units import MB
 
 
 def test_event_loop_throughput(benchmark):
@@ -107,3 +113,85 @@ def test_decision_engine_throughput(benchmark):
         return decisions
 
     benchmark(run)
+
+
+# -- the vectorized kernels (docs/PERFORMANCE.md "numpy load-trace
+# kernels" section gets its numbers from the three benches below) -----------
+
+
+def test_batch_integration_throughput(benchmark):
+    """integrate/advance across a 32-host pool in one batch call each --
+    the per-decision-epoch pattern the batch entry points serve."""
+    rng = np.random.default_rng(11)
+    model = OnOffLoadModel(p=0.3, q=0.2)
+    traces = [model.build(np.random.default_rng(int(s)), 200_000.0)
+              for s in rng.integers(0, 2**31, size=32)]
+    demands = [60.0] * len(traces)
+
+    def run():
+        total = 0.0
+        t = 0.0
+        for _ in range(500):
+            total += float(integrate_availability_many(
+                traces, t, t + 120.0).sum())
+            t = float(advance_work_many(traces, t, demands).max())
+        return total
+
+    assert benchmark(run) > 0.0
+
+
+def test_prefix_sum_invalidation_cost(benchmark):
+    """append_segment + kernel() recompile: the mutation side of the
+    cache.  Incremental tail extension keeps this O(appended segments),
+    not O(trace length) -- the number to watch here."""
+    base = OnOffLoadModel(p=0.3, q=0.2).build(
+        np.random.default_rng(3), 500_000.0)
+    times = list(base._times)
+    values = list(base._values)
+
+    def run():
+        from repro.load.base import LoadTrace
+
+        trace = LoadTrace([0.0] + times[1:1000],
+                          values[:999], beyond_horizon="hold")
+        trace.kernel()  # compile once; the loop pays only extension
+        total = 0.0
+        for i in range(2_000):
+            trace.append_segment(trace.horizon + 5.0, i % 3)
+            total += trace.kernel().cum_list[-1]
+        return total
+
+    assert benchmark(run) > 0.0
+
+
+def _lowering_workload():
+    platform = make_platform(10, OnOffLoadModel(p=0.3, q=0.3), seed=5)
+    app = ApplicationSpec(n_processes=4, iterations=400,
+                          flops_per_iteration=4e8, state_bytes=1 * MB)
+    return platform, app
+
+
+def test_lowered_scenario_throughput(benchmark):
+    """Full SWAP run with the lowering pipeline on (the production path;
+    compare against test_unlowered_scenario_throughput)."""
+
+    def run():
+        platform, app = _lowering_workload()
+        return SwapStrategy(greedy_policy()).run(platform, app).makespan
+
+    lowered = benchmark(run)
+    with disable_lowering():
+        platform, app = _lowering_workload()
+        reference = SwapStrategy(greedy_policy()).run(platform, app).makespan
+    assert lowered == reference  # float-identity contract
+
+
+def test_unlowered_scenario_throughput(benchmark):
+    """The same run with every binding on the generic per-host chain."""
+
+    def run():
+        with disable_lowering():
+            platform, app = _lowering_workload()
+            return SwapStrategy(greedy_policy()).run(platform, app).makespan
+
+    assert benchmark(run) > 0.0

@@ -10,14 +10,17 @@ exactly that curve from any strategy run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.errors import StrategyError
 
 
-@dataclass(frozen=True)
-class ProgressEvent:
-    """One milestone on the progress curve."""
+class ProgressEvent(NamedTuple):
+    """One milestone on the progress curve.
+
+    A NamedTuple: strategies append one per iteration, so creation cost
+    sits on the sweep hot path.
+    """
 
     time: float
     """Simulated time in seconds."""
@@ -37,12 +40,12 @@ class ProgressRecorder:
 
     def record(self, time: float, iterations_done: int, kind: str,
                detail: str = "") -> None:
-        if self.events and time < self.events[-1].time - 1e-9:
+        events = self.events
+        if events and time < events[-1].time - 1e-9:
             raise StrategyError(
                 f"progress event at t={time} is older than the last one")
-        self.events.append(ProgressEvent(time=float(time),
-                                         iterations_done=int(iterations_done),
-                                         kind=kind, detail=detail))
+        events.append(ProgressEvent(float(time), int(iterations_done),
+                                    kind, detail))
 
     def curve(self) -> "tuple[list[float], list[int]]":
         """(times, iterations) arrays -- the Fig. 1 axes."""

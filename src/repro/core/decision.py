@@ -17,16 +17,20 @@ the same criteria used to evaluate process swapping decisions"
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, NamedTuple
 
 from repro.core.payback import iterations_to_break_even
 from repro.core.policy import PolicyParams
 from repro.errors import PolicyError
 
+# The record types below are NamedTuples rather than frozen dataclasses:
+# they carry the same immutable, keyword-constructed, attribute-read
+# semantics, but allocate as plain tuples -- decide_swaps creates several
+# per epoch on the sweep hot path, where the frozen-dataclass
+# ``object.__setattr__``-per-field protocol measurably dominates.
 
-@dataclass(frozen=True)
-class ReconfigurationCheck:
+
+class ReconfigurationCheck(NamedTuple):
     """Outcome of gating one proposed reconfiguration."""
 
     accepted: bool
@@ -38,8 +42,7 @@ class ReconfigurationCheck:
     """Why the proposal was rejected ("" when accepted)."""
 
 
-@dataclass(frozen=True)
-class GateOutcome:
+class GateOutcome(NamedTuple):
     """One gate evaluation from a decision epoch (the audit trail).
 
     Every proposal :func:`decide_swaps` considers leaves exactly one of
@@ -74,8 +77,7 @@ class GateOutcome:
                 "payback": self.payback}
 
 
-@dataclass(frozen=True)
-class SwapMove:
+class SwapMove(NamedTuple):
     """One accepted processor exchange."""
 
     out_host: int
@@ -90,8 +92,7 @@ class SwapMove:
     """Payback distance of this individual move, in iterations."""
 
 
-@dataclass(frozen=True)
-class SwapDecision:
+class SwapDecision(NamedTuple):
     """Result of one decision epoch."""
 
     moves: "tuple[SwapMove, ...]" = ()
@@ -193,17 +194,22 @@ def decide_swaps(active: "list[int]",
     """
     if not active:
         raise PolicyError("active set is empty")
-    missing = [h for h in list(active) + list(spares) if h not in rates]
-    if missing:
+    has_rate = rates.__contains__
+    if not (all(map(has_rate, active)) and all(map(has_rate, spares))):
+        missing = [h for h in list(active) + list(spares) if h not in rates]
         raise PolicyError(f"no predicted rate for hosts {missing}")
-    for host, rate in rates.items():
-        if rate <= 0:
-            raise PolicyError(f"non-positive rate {rate} for host {host}")
+    if min(rates.values()) <= 0:
+        for host, rate in rates.items():
+            if rate <= 0:
+                raise PolicyError(f"non-positive rate {rate} for host {host}")
 
-    current = list(active)
-    chunks = dict(chunk_flops)
-    available = sorted(spares, key=lambda h: rates[h], reverse=True)
-    original_iter = _iteration_time(current, rates, chunks, comm_time)
+    # Copy-on-write: the working sets are only duplicated once a move is
+    # actually applied -- the common no-swap epoch touches nothing.
+    current = active
+    chunks = chunk_flops
+    available = spares
+    rate_of = rates.__getitem__
+    original_iter = None
     rejected_reason = ""
 
     # Build a *batch* of tentative moves (slowest active <-> fastest
@@ -216,7 +222,6 @@ def decide_swaps(active: "list[int]",
     candidates: list[SwapMove] = []
     gates: list[GateOutcome] = []
     committed = 0
-    committed_iter = original_iter
 
     # ``rejected_reason`` tracks the first rejection since the last
     # *committed* move: that is the gate that stopped the accepted prefix
@@ -227,17 +232,25 @@ def decide_swaps(active: "list[int]",
         if (params.max_swaps_per_decision is not None
                 and len(candidates) >= params.max_swaps_per_decision):
             break
-        # Slowest active processor = largest predicted compute time.
-        out_host = max(current, key=lambda h: chunks[h] / rates[h])
-        in_host = available[0]
+        # Slowest active processor = largest predicted compute time (ties
+        # resolve to the first maximum, like a stable descending sort);
+        # one fused scan yields both the victim and the iteration time.
+        out_host = current[0]
+        worst = chunks[out_host] / rates[out_host]
+        for h in current:
+            v = chunks[h] / rates[h]
+            if v > worst:
+                worst = v
+                out_host = h
+        if original_iter is None:
+            original_iter = worst + comm_time
+        in_host = max(available, key=rate_of)
 
         process_improvement = rates[in_host] / rates[out_host] - 1.0
         if process_improvement <= 0.0:
             reason = "fastest spare is no faster than slowest active"
-            gates.append(GateOutcome(
-                out_host=out_host, in_host=in_host, gate="process",
-                accepted=False, reason=reason,
-                process_improvement=process_improvement))
+            gates.append(GateOutcome(out_host, in_host, "process", False,
+                                     reason, process_improvement))
             if not rejected_reason:
                 rejected_reason = reason
             break
@@ -245,31 +258,30 @@ def decide_swaps(active: "list[int]",
             reason = (
                 f"process improvement {process_improvement:.2%} below "
                 f"threshold {params.min_process_improvement:.2%}")
-            gates.append(GateOutcome(
-                out_host=out_host, in_host=in_host, gate="process",
-                accepted=False, reason=reason,
-                process_improvement=process_improvement))
+            gates.append(GateOutcome(out_host, in_host, "process", False,
+                                     reason, process_improvement))
             if not rejected_reason:
                 rejected_reason = reason
             break
 
+        if current is active:
+            current = list(active)
+            chunks = dict(chunk_flops)
+            available = list(spares)
         current[current.index(out_host)] = in_host
         chunks[in_host] = chunks.pop(out_host)
-        available.pop(0)
+        available.remove(in_host)
         new_iter = _iteration_time(current, rates, chunks, comm_time)
         cumulative_cost = swap_cost * (len(candidates) + 1)
         check = evaluate_reconfiguration(original_iter, new_iter,
                                          cumulative_cost, params)
-        candidates.append(SwapMove(out_host=out_host, in_host=in_host,
-                                   process_improvement=process_improvement,
-                                   app_improvement=check.app_improvement,
-                                   payback=check.payback))
+        candidates.append(SwapMove(out_host, in_host, process_improvement,
+                                   check.app_improvement, check.payback))
         gates.append(GateOutcome(
-            out_host=out_host, in_host=in_host,
-            gate="accepted" if check.accepted else "application",
-            accepted=check.accepted, reason=check.reason,
-            process_improvement=process_improvement,
-            app_improvement=check.app_improvement, payback=check.payback))
+            out_host, in_host,
+            "accepted" if check.accepted else "application",
+            check.accepted, check.reason, process_improvement,
+            check.app_improvement, check.payback))
         if check.accepted:
             committed = len(candidates)
             committed_iter = new_iter
@@ -277,8 +289,12 @@ def decide_swaps(active: "list[int]",
         elif not rejected_reason:
             rejected_reason = check.reason
 
-    return SwapDecision(moves=tuple(candidates[:committed]),
-                        old_iteration_time=original_iter,
-                        new_iteration_time=committed_iter,
-                        rejected_reason=rejected_reason,
-                        gates=tuple(gates))
+    if original_iter is None:
+        # Empty spare pool (or a zero-move cap): no proposal was ever
+        # scanned, so compute the baseline prediction directly.
+        original_iter = _iteration_time(active, rates, chunk_flops,
+                                        comm_time)
+    if not committed:
+        committed_iter = original_iter
+    return SwapDecision(tuple(candidates[:committed]), original_iter,
+                        committed_iter, rejected_reason, tuple(gates))

@@ -78,7 +78,13 @@ class PerformanceHistory:
         return view or [self._samples[-1]]
 
     def values(self, now: float | None = None) -> "list[float]":
-        return [v for _t, v in self.samples(now)]
+        """Windowed values, in one pass (same view as :meth:`samples`)."""
+        samples = self._samples
+        if now is None or not samples:
+            return [s[1] for s in samples]
+        cutoff = now - self.window
+        view = [v for t, v in samples if t >= cutoff]
+        return view or [samples[-1][1]]
 
     @property
     def last(self) -> float:
@@ -254,6 +260,39 @@ class PerformanceMonitor:
         if history is None or len(history) == 0:
             raise PolicyError(f"no measurements recorded for {resource!r}")
         return self.forecaster.predict(history, now)
+
+    def predict_many(self, resources, now: float) -> "dict | None":
+        """Forecasts for every resource in one columnar pass.
+
+        Returns ``None`` as soon as any resource lacks measurements (the
+        decision epoch cannot run on a partial view), otherwise a
+        resource -> prediction map.  Each prediction is float-identical
+        to :meth:`predict` on the same history: the fast paths below
+        collapse the per-resource forecaster dispatch, not the algebra.
+        """
+        histories = self._histories
+        forecaster = self.forecaster
+        kind = type(forecaster)
+        rates = {}
+        if kind is LastValueForecaster:
+            for r in resources:
+                history = histories.get(r)
+                if history is None or not history._samples:
+                    return None
+                rates[r] = history._samples[-1][1]
+        elif kind is WindowedMeanForecaster:
+            for r in resources:
+                history = histories.get(r)
+                if history is None or not history._samples:
+                    return None
+                rates[r] = float(np.mean(history.values(now)))
+        else:
+            for r in resources:
+                history = histories.get(r)
+                if history is None or not history._samples:
+                    return None
+                rates[r] = forecaster.predict(history, now)
+        return rates
 
     def known_resources(self) -> list:
         return list(self._histories)

@@ -51,8 +51,10 @@ from repro.simkernel import engine as _engine
 from repro.strategies.base import ExecutionResult
 
 #: Cell payload schema version; bump to invalidate every cached entry.
-#: (2: cells carry observability payloads -- trace records + metrics.)
-CACHE_FORMAT = 2
+#: (2: cells carry observability payloads -- trace records + metrics.
+#:  3: cells computed by the vectorized trace kernels / lowered plans --
+#:  makespans are float-identical but the perf counters changed meaning.)
+CACHE_FORMAT = 3
 
 
 # -- one cell ---------------------------------------------------------------
@@ -278,7 +280,7 @@ def append_bench_record(path: "str | os.PathLike",
         records = {}
     record = timing.to_dict()
     records[(record["scenario"], record["jobs"])] = record
-    doc = {"version": 1, "tool": "sweep-bench",
+    doc = {"version": 2, "tool": "sweep-bench",
            "records": [records[key] for key in sorted(records)]}
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

@@ -214,6 +214,19 @@ class BankMonitor:
             raise PolicyError(f"no measurements recorded for {resource!r}")
         return bank.forecast().value
 
+    def predict_many(self, resources, now: float = 0.0) -> "dict | None":
+        """Forecasts for every resource, or None if any is unmeasured
+        (interface parity with ``PerformanceMonitor.predict_many``)."""
+        del now
+        banks = self._banks
+        rates = {}
+        for r in resources:
+            bank = banks.get(r)
+            if bank is None or bank._n == 0:
+                return None
+            rates[r] = bank.forecast().value
+        return rates
+
     def forecast(self, resource) -> Forecast:
         bank = self._banks.get(resource)
         if bank is None:

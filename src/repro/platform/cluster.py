@@ -15,6 +15,7 @@ from typing import Callable, Sequence
 from repro.errors import PlatformError
 from repro.faults.plan import FaultModel, FaultPlan
 from repro.load.base import LoadModel
+from repro.load.kernels import effective_rates_many
 from repro.platform.host import Host, HostSpec
 from repro.platform.network import LinkSpec
 from repro.simkernel.rng import RngRegistry
@@ -71,10 +72,20 @@ class Platform:
 
     def effective_rates(self, t: float, window: float = 0.0,
                         indices: "Sequence[int] | None" = None) -> "dict[int, float]":
-        """Window-averaged effective rate of each host (flop/s) at ``t``."""
+        """Window-averaged effective rate of each host (flop/s) at ``t``.
+
+        One flat pass over the hosts' cached trace kernels
+        (:func:`repro.load.kernels.effective_rates_many`), bit-identical
+        to calling :meth:`Host.effective_rate` per host.
+        """
+        if window < 0:
+            raise PlatformError(f"negative window {window}")
         if indices is None:
             indices = range(len(self.hosts))
-        return {i: self.hosts[i].effective_rate(t, window) for i in indices}
+            hosts = self.hosts
+        else:
+            hosts = [self.hosts[i] for i in indices]
+        return dict(zip(indices, effective_rates_many(hosts, t, window)))
 
 
 def make_platform(n_hosts: int,

@@ -25,16 +25,36 @@ _heappop = heapq.heappop
 
 _INF = float("inf")
 
-#: Process-wide tally of events processed by *every* Simulator instance.
-#: Orchestration layers (the sweep executor's timing records) read it via
+#: Process-wide tally of kernel events: discrete events processed by
+#: *every* Simulator instance plus load-kernel queries issued by the
+#: analytic (iteration-level) simulators.  Orchestration layers (the
+#: sweep executor's timing records) read it via
 #: :func:`events_processed_total` to report kernel throughput without
 #: holding references to the simulators created deep inside a run.
 _EVENTS_TOTAL = [0]
 
 
 def events_processed_total() -> int:
-    """Events processed by all simulators in this process so far."""
+    """Kernel events processed in this process so far.
+
+    Discrete-event loop events plus analytic load-kernel queries (see
+    :func:`count_kernel_events`); the sweep executor samples deltas of
+    this around each cell, so ``engine_events`` in ``BENCH_sweeps.json``
+    measures kernel throughput for *both* simulator families.
+    """
     return _EVENTS_TOTAL[0]
+
+
+def count_kernel_events(n: int) -> None:
+    """Credit ``n`` analytic kernel queries to the process-wide tally.
+
+    The iteration-level simulators never enter the event loop; their
+    "events" are the exact load-trace queries (availability integrals,
+    work advancement) the batch kernels in :mod:`repro.load.kernels`
+    answer.  Counting them here gives the sweep benchmarks one
+    throughput number covering both simulation styles.
+    """
+    _EVENTS_TOTAL[0] += n  # simflow: disable=SF001 (diagnostics counter)
 
 
 class Simulator:
@@ -144,13 +164,46 @@ class Simulator:
                 raise SchedulingError(
                     f"cannot run until t={until_time} < now={self._now}")
 
-        while self._heap:
-            if until_event is not None and until_event.processed:
-                return until_event.value
-            if self._heap[0][0] > until_time:
-                self._now = until_time
-                return None
-            self.step()
+        if type(self).step is Simulator.step:
+            # Inlined hot loop: the heap and per-event counters are bound
+            # to locals and flushed once, instead of attribute traffic on
+            # every event.  Subclasses that override step() (the runtime
+            # sanitizer) keep the dispatching loop below.
+            heap = self._heap
+            hooks = self.hooks
+            processed = 0
+            try:
+                while heap:
+                    if until_event is not None and until_event.processed:
+                        return until_event.value
+                    when, _prio, seq, event = heap[0]
+                    if when > until_time:
+                        self._now = until_time
+                        return None
+                    _heappop(heap)
+                    if when < self._now:  # pragma: no cover - defensive
+                        raise SimulationError("event scheduled in the past")
+                    self._now = when
+                    if hooks is not None:
+                        hooks.event_fired(when, seq, type(event).__name__)
+                    callbacks, event.callbacks = event.callbacks, None
+                    assert callbacks is not None
+                    for callback in callbacks:
+                        callback(event)
+                    processed += 1
+                    if not event.ok and not event._defused:
+                        raise event.value
+            finally:
+                self.processed_events += processed
+                _EVENTS_TOTAL[0] += processed  # simflow: disable=SF001
+        else:
+            while self._heap:
+                if until_event is not None and until_event.processed:
+                    return until_event.value
+                if self._heap[0][0] > until_time:
+                    self._now = until_time
+                    return None
+                self.step()
 
         if until_event is not None:
             if until_event.processed:

@@ -11,7 +11,7 @@ barrier the paper's ``MPI_Swap()`` call relies on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, NamedTuple
 
 from repro.app.iterative import ApplicationSpec
 from repro.app.progress import ProgressRecorder
@@ -19,9 +19,12 @@ from repro.errors import StrategyError
 from repro.platform.cluster import Platform
 
 
-@dataclass(frozen=True)
-class IterationRecord:
-    """Timing of one simulated iteration."""
+class IterationRecord(NamedTuple):
+    """Timing of one simulated iteration.
+
+    A NamedTuple: every strategy appends one per iteration, so creation
+    cost sits on the sweep hot path.
+    """
 
     index: int
     """1-based iteration number."""

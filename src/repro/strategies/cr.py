@@ -32,6 +32,7 @@ from repro.core.decision import evaluate_reconfiguration
 from repro.core.policy import PolicyParams, greedy_policy
 from repro.faults import recovery
 from repro.platform.cluster import Platform
+from repro.simkernel.plan import lower
 from repro.strategies.base import ExecutionResult, IterationRecord, Strategy
 from repro.strategies.scheduler import initial_schedule
 
@@ -64,6 +65,7 @@ class CrStrategy(Strategy):
         self.check_fit(platform, app)
         result = ExecutionResult(strategy=self.name, app=app)
         plan = platform.faults
+        splan = lower(platform, app)
 
         active = initial_schedule(platform, app.n_processes, t=0.0)
         comm_time = self.comm_time(platform, app)
@@ -74,6 +76,20 @@ class CrStrategy(Strategy):
         result.startup_time = t
         result.progress.record(t, 0, "startup")
 
+        progress_record = result.progress.record
+        records_append = result.records.append
+        iteration = splan.iteration
+        obs_on = splan.obs_on
+        n_processes = app.n_processes
+        history_window = self.policy.history_window
+        predicted_rates = splan.predicted_rates
+
+        # The active set only changes on a restart, so the per-iteration
+        # tuple/chunk-map rebuilds are cached on the list's identity.
+        ran_for: "list[int] | None" = None
+        ran_on: "tuple[int, ...]" = ()
+        chunks: "dict[int, float]" = {}
+
         i = 1
         while i <= app.iterations:
             if plan is not None:
@@ -82,11 +98,12 @@ class CrStrategy(Strategy):
                     t, active = self._fault_restart(plan, platform, app,
                                                     result, t, i, victims)
             iter_start = t
-            ran_on = tuple(active)
-            chunks = {h: chunk for h in active}
-            if plan is None:
-                compute_end, iter_end = self.run_iteration(platform, chunks,
-                                                           t, comm_time)
+            if active is not ran_for:
+                ran_on = tuple(active)
+                chunks = {h: chunk for h in active}
+                ran_for = active
+            if splan.fault_free:
+                compute_end, iter_end = iteration(chunks, t, comm_time)
             else:
                 compute_end = max(
                     recovery.compute_finish(platform, h, t, flops)
@@ -101,27 +118,42 @@ class CrStrategy(Strategy):
                     continue
                 iter_end = compute_end + comm_time
             t = iter_end
-            result.progress.record(t, i, "iteration")
-            obs.emit("iteration", iter_end, source=self.name, iteration=i,
-                     start=iter_start, end=iter_end,
-                     compute_end=compute_end, active=ran_on)
-            obs.count("strategy.iterations_total")
+            progress_record(t, i, "iteration")
+            if obs_on:
+                obs.emit("iteration", iter_end, source=self.name, iteration=i,
+                         start=iter_start, end=iter_end,
+                         compute_end=compute_end, active=ran_on)
+                obs.count("strategy.iterations_total")
 
             overhead = 0.0
             event = ""
             if i < app.iterations:
-                rates = self.predicted_rates(platform, t,
-                                             self.policy.history_window)
-                candidate = self._candidate_set(platform, app, t, plan)
+                rates = predicted_rates(t, history_window)
+                if plan is None:
+                    # The candidate ranking uses the same (t, window)
+                    # rates just predicted; reuse them instead of a
+                    # second full-platform pass (same sort, same set).
+                    # ``rates`` iterates hosts in ascending index order
+                    # and a reverse sort is stable, so this matches the
+                    # ``(-rate, index)`` ranking without per-key tuples.
+                    candidate = sorted(rates, key=rates.__getitem__,
+                                       reverse=True)[:n_processes]
+                else:
+                    candidate = self._candidate_set(platform, app, t, plan)
                 if candidate is not None and set(candidate) != set(active):
-                    old_iter = max(chunk / rates[h] for h in active) + comm_time
-                    new_iter = max(chunk / rates[h] for h in candidate) + comm_time
+                    # ``max(chunk / r)`` is the division by the minimal
+                    # rate -- same operation on the same operands.
+                    old_iter = chunk / min(map(rates.__getitem__,
+                                               active)) + comm_time
+                    new_iter = chunk / min(map(rates.__getitem__,
+                                               candidate)) + comm_time
                     check = evaluate_reconfiguration(old_iter, new_iter, cost,
                                                      self.policy)
-                    obs.emit_check(t, source=self.name, iteration=i,
-                                   policy=self.policy.name, check=check,
-                                   cost=cost, active=active,
-                                   candidate=candidate)
+                    if obs_on:
+                        obs.emit_check(t, source=self.name, iteration=i,
+                                       policy=self.policy.name, check=check,
+                                       cost=cost, active=active,
+                                       candidate=candidate)
                     if check.accepted and plan is not None \
                             and not plan.store_available(t):
                         # The checkpoint write would hit the outage:
@@ -137,16 +169,14 @@ class CrStrategy(Strategy):
                         result.restart_count += 1
                         result.overhead_time += overhead
                         t += overhead
-                        result.progress.record(t, i, "checkpoint")
+                        progress_record(t, i, "checkpoint")
                         obs.emit("checkpoint", t, source=self.name,
                                  iteration=i, new_active=active,
                                  cost=cost, start=iter_end, end=t)
                         obs.count("cr.restarts_total")
 
-            result.records.append(IterationRecord(
-                index=i, start=iter_start, compute_end=compute_end,
-                end=iter_end, active=ran_on, overhead_after=overhead,
-                event=event))
+            records_append(IterationRecord(i, iter_start, compute_end,
+                                           iter_end, ran_on, overhead, event))
             i += 1
 
         result.makespan = t

@@ -29,6 +29,7 @@ from repro import obs
 from repro.app.iterative import ApplicationSpec
 from repro.faults import recovery
 from repro.platform.cluster import Platform
+from repro.simkernel.plan import lower
 from repro.strategies.base import ExecutionResult, IterationRecord, Strategy
 from repro.strategies.scheduler import initial_schedule
 
@@ -50,6 +51,7 @@ class DlbStrategy(Strategy):
         self.check_fit(platform, app)
         result = ExecutionResult(strategy=self.name, app=app)
         plan = platform.faults
+        splan = lower(platform, app)
 
         members = initial_schedule(platform, app.n_processes, t=0.0)
         down: "set[int]" = set()
@@ -61,27 +63,26 @@ class DlbStrategy(Strategy):
 
         i = 1
         while i <= app.iterations:
-            if plan is None:
+            if splan.fault_free:
                 active = members
             else:
                 t = self._sync_membership(plan, members, down, t, i, result)
                 active = [h for h in members if h not in down]
-            rates = self.predicted_rates(platform, t, self.measurement_window,
-                                         indices=active)
-            if plan is None:
+            rates = splan.predicted_rates(t, self.measurement_window,
+                                          indices=active)
+            if splan.fault_free:
                 chunks = app.proportional_chunks(rates)
             else:
                 total_rate = sum(rates.values())
                 chunks = {h: app.flops_per_iteration * rates[h] / total_rate
                           for h in active}
-            if obs.active() is not None:
+            if splan.obs_on and obs.active() is not None:
                 obs.emit("rebalance", t, source=self.name, iteration=i,
                          chunks={str(h): chunks[h] for h in active},
                          rates={str(h): rates[h] for h in active})
                 obs.count("dlb.rebalances_total")
-            if plan is None:
-                compute_end, iter_end = self.run_iteration(platform, chunks,
-                                                           t, comm_time)
+            if splan.fault_free:
+                compute_end, iter_end = splan.iteration(chunks, t, comm_time)
             else:
                 compute_end = max(
                     recovery.compute_finish(platform, h, t, flops)
@@ -99,10 +100,11 @@ class DlbStrategy(Strategy):
             result.records.append(IterationRecord(
                 index=i, start=t, compute_end=compute_end, end=iter_end,
                 active=tuple(active)))
-            obs.emit("iteration", iter_end, source=self.name, iteration=i,
-                     start=t, end=iter_end, compute_end=compute_end,
-                     active=tuple(active))
-            obs.count("strategy.iterations_total")
+            if splan.obs_on:
+                obs.emit("iteration", iter_end, source=self.name, iteration=i,
+                         start=t, end=iter_end, compute_end=compute_end,
+                         active=tuple(active))
+                obs.count("strategy.iterations_total")
             t = iter_end
             result.progress.record(t, i, "iteration")
             i += 1

@@ -16,6 +16,7 @@ from repro import obs
 from repro.app.iterative import ApplicationSpec
 from repro.faults import recovery
 from repro.platform.cluster import Platform
+from repro.simkernel.plan import lower
 from repro.strategies.base import ExecutionResult, IterationRecord, Strategy
 from repro.strategies.scheduler import initial_schedule
 
@@ -29,6 +30,7 @@ class NothingStrategy(Strategy):
         self.check_fit(platform, app)
         result = ExecutionResult(strategy=self.name, app=app)
         plan = platform.faults
+        splan = lower(platform, app)
 
         active = initial_schedule(platform, app.n_processes, t=0.0)
         chunks = app.equal_chunks(active)
@@ -38,10 +40,17 @@ class NothingStrategy(Strategy):
         result.startup_time = t
         result.progress.record(t, 0, "startup")
 
+        # NOTHING's active set never changes: hoist the per-iteration
+        # constants out of the loop.
+        active_t = tuple(active)
+        records_append = result.records.append
+        progress_record = result.progress.record
+        iteration = splan.iteration
+        obs_on = splan.obs_on
+
         for i in range(1, app.iterations + 1):
-            if plan is None:
-                compute_end, iter_end = self.run_iteration(
-                    platform, chunks, t, comm_time)
+            if splan.fault_free:
+                compute_end, iter_end = iteration(chunks, t, comm_time)
             else:
                 # Revoked hosts pause; the barrier stalls until they return.
                 compute_end = max(
@@ -49,15 +58,15 @@ class NothingStrategy(Strategy):
                     for h, flops in sorted(chunks.items()))
                 iter_end = compute_end + comm_time
                 self._declare_stalls(plan, active, t, compute_end, i, result)
-            result.records.append(IterationRecord(
-                index=i, start=t, compute_end=compute_end, end=iter_end,
-                active=tuple(active)))
-            obs.emit("iteration", iter_end, source=self.name, iteration=i,
-                     start=t, end=iter_end, compute_end=compute_end,
-                     active=tuple(active))
-            obs.count("strategy.iterations_total")
+            records_append(IterationRecord(i, t, compute_end, iter_end,
+                                           active_t))
+            if obs_on:
+                obs.emit("iteration", iter_end, source=self.name, iteration=i,
+                         start=t, end=iter_end, compute_end=compute_end,
+                         active=active_t)
+                obs.count("strategy.iterations_total")
             t = iter_end
-            result.progress.record(t, i, "iteration")
+            progress_record(t, i, "iteration")
 
         result.makespan = t
         result.final_active = tuple(active)

@@ -31,6 +31,7 @@ from repro.faults import recovery
 from repro.faults.recovery import (TransferSequencer, attempt_transfer,
                                    promote_spares)
 from repro.platform.cluster import Platform
+from repro.simkernel.plan import lower
 from repro.strategies.base import ExecutionResult, IterationRecord, Strategy
 from repro.strategies.scheduler import initial_schedule
 
@@ -48,6 +49,7 @@ class SwapStrategy(Strategy):
         self.check_fit(platform, app)
         result = ExecutionResult(strategy=self.name, app=app)
         plan = platform.faults
+        splan = lower(platform, app)
         sequencer = TransferSequencer()
         declared_until: "dict[int, float]" = {}
 
@@ -62,8 +64,28 @@ class SwapStrategy(Strategy):
         result.startup_time = t
         result.progress.record(t, 0, "startup")
 
+        # Spare pool cache: the complement of ``active`` in ``pool`` only
+        # changes when the active set does (keyed by the iteration's
+        # ``ran_on`` tuple), so most epochs skip the membership scan.
+        spares_key: "tuple[int, ...] | None" = None
+        spares_base: "list[int]" = []
+
+        progress_record = result.progress.record
+        records_append = result.records.append
+        iteration = splan.iteration
+        obs_on = splan.obs_on
+        policy = self.policy
+        history_window = policy.history_window
+        predicted_rates = splan.predicted_rates
+        iterations = app.iterations
+
+        # ``tuple(active)`` cached on the list's identity: every path
+        # that changes the active set rebinds it to a fresh list.
+        ran_for: "list[int] | None" = None
+        ran_on: "tuple[int, ...]" = ()
+
         i = 1
-        while i <= app.iterations:
+        while i <= iterations:
             if plan is not None:
                 # Boundary recovery: replace actives revoked right now
                 # (skipping hosts whose stall was already declared).
@@ -75,10 +97,11 @@ class SwapStrategy(Strategy):
                         active, chunks, victims, swap_cost_one,
                         declared_until)
             iter_start = t
-            ran_on = tuple(active)
-            if plan is None:
-                compute_end, iter_end = self.run_iteration(platform, chunks,
-                                                           t, comm_time)
+            if active is not ran_for:
+                ran_on = tuple(active)
+                ran_for = active
+            if splan.fault_free:
+                compute_end, iter_end = iteration(chunks, t, comm_time)
             else:
                 compute_end = max(
                     recovery.compute_finish(platform, h, t, flops)
@@ -96,24 +119,27 @@ class SwapStrategy(Strategy):
                     continue
                 iter_end = compute_end + comm_time
             t = iter_end
-            result.progress.record(t, i, "iteration")
-            obs.emit("iteration", iter_end, source=self.name, iteration=i,
-                     start=iter_start, end=iter_end,
-                     compute_end=compute_end, active=ran_on)
-            obs.count("strategy.iterations_total")
+            progress_record(t, i, "iteration")
+            if obs_on:
+                obs.emit("iteration", iter_end, source=self.name, iteration=i,
+                         start=iter_start, end=iter_end,
+                         compute_end=compute_end, active=ran_on)
+                obs.count("strategy.iterations_total")
 
             overhead = 0.0
             event = ""
-            if i < app.iterations:  # no point swapping after the last one
-                spares = [h for h in pool if h not in active]
+            if i < iterations:  # no point swapping after the last one
+                if ran_on != spares_key:
+                    spares_base = [h for h in pool if h not in active]
+                    spares_key = ran_on
+                spares = spares_base
                 if plan is not None:
                     # A revoked spare is not a viable swap-in candidate.
                     spares = [h for h in spares if not plan.is_revoked(h, t)]
-                rates = self.predicted_rates(platform, t,
-                                             self.policy.history_window)
+                rates = predicted_rates(t, history_window)
                 decision = decide_swaps(active, spares, rates, chunks,
-                                        comm_time, swap_cost_one, self.policy)
-                if obs.active() is not None:
+                                        comm_time, swap_cost_one, policy)
+                if obs_on and obs.active() is not None:
                     obs.emit_decision(t, source=self.name, iteration=i,
                                       policy=self.policy.name,
                                       decision=decision,
@@ -142,7 +168,7 @@ class SwapStrategy(Strategy):
                         result.swap_count += len(moves)
                         result.overhead_time += overhead
                         t += overhead
-                        result.progress.record(t, i, "swap", detail)
+                        progress_record(t, i, "swap", detail)
                         for move in moves:
                             obs.emit("swap", t, source=self.name, iteration=i,
                                      out_host=move.out_host,
@@ -157,10 +183,8 @@ class SwapStrategy(Strategy):
                         result.overhead_time += overhead
                         t += overhead
 
-            result.records.append(IterationRecord(
-                index=i, start=iter_start, compute_end=compute_end,
-                end=iter_end, active=ran_on, overhead_after=overhead,
-                event=event))
+            records_append(IterationRecord(i, iter_start, compute_end,
+                                           iter_end, ran_on, overhead, event))
             i += 1
 
         result.makespan = t

@@ -71,13 +71,7 @@ def manager_loop(runtime: "SwapRuntime", api: "Rank") -> Generator:
 
     def predicted_rates() -> "dict[int, float] | None":
         """Forecasts for every host, or None until all are measured."""
-        rates: "dict[int, float]" = {}
-        for rank in active + spares:
-            try:
-                rates[rank] = monitor.predict(rank, api.now)
-            except Exception:
-                return None
-        return rates
+        return monitor.predict_many(active + spares, api.now)
 
     def decide_and_reply(iteration: int) -> Generator:
         nonlocal active, spares, state_bytes

@@ -129,9 +129,11 @@ def test_golden_signature_compute_cell(repro_flow):
 
 def test_contracted_pure_functions_are_pure(repro_flow):
     analysis = repro_flow.analysis
+    # initial_schedule left this list with the batch-kernel rewrite: host
+    # ranking can lazily extend load traces (an RNG draw), so it never
+    # belonged under the purity contract.
     for qualname in ("repro.simkernel.rng.derive_seed",
                      "repro.core.payback.iterations_to_break_even",
-                     "repro.strategies.scheduler.initial_schedule",
                      "repro.platform.network.LinkSpec.transfer_time"):
         assert analysis.is_pure(qualname), qualname
 

@@ -1,10 +1,13 @@
 """Tests for the payback algebra, anchored to the paper's worked example."""
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.payback import (
+    EQUAL_PERFORMANCE_RTOL,
     iterations_to_break_even,
     payback_distance,
     swap_time,
@@ -115,9 +118,14 @@ positive = st.floats(min_value=1e-3, max_value=1e6)
 @settings(max_examples=100)
 def test_sign_matches_gain_direction(cost, old_iter, old_perf, new_perf):
     distance = payback_distance(cost, old_iter, old_perf, new_perf)
-    if new_perf > old_perf:
+    if math.isclose(old_perf, new_perf, rel_tol=EQUAL_PERFORMANCE_RTOL,
+                    abs_tol=0.0):
+        # The documented near-equal band: never recouped, regardless of
+        # which side of equality the rounding landed on.
+        assert distance == float("inf")
+    elif new_perf > old_perf:
         assert distance >= 0.0
-    elif new_perf < old_perf:
+    else:
         assert distance <= 0.0
 
 

@@ -38,3 +38,45 @@ def test_fig4_golden_values(fig4_seed0):
     assert not mismatches, (
         "simulated physics changed -- regenerate EXPERIMENTS.md and "
         f"update the golden constants: {mismatches}")
+
+
+# -- committed full-sweep goldens (the kernel float-identity oracle) ---------
+#
+# tests/experiments/goldens/ pins the complete seeds=2 sweep results of
+# the two headline figures, byte-for-byte.  Unlike the spot values above
+# these cover every cell, so any drift in the vectorized kernels or the
+# lowering passes -- however small -- fails loudly.  Regenerate with:
+#   PYTHONPATH=src python -c "
+#   import json
+#   from repro.experiments.executor import execute_sweep
+#   from repro.experiments.scenarios import get_scenario
+#   for name in ('fig4', 'fig7'):
+#       result, _ = execute_sweep(get_scenario(name), seeds=2)
+#       open(f'tests/experiments/goldens/{name}-seeds2.json', 'w').write(
+#           json.dumps(result.to_dict(), sort_keys=True, indent=2) + '\n')"
+
+import json
+from pathlib import Path
+
+from repro.experiments.executor import execute_sweep
+from repro.simkernel.plan import disable_lowering
+
+GOLDENS = Path(__file__).parent / "goldens"
+
+
+@pytest.mark.parametrize("name", ["fig4", "fig7"])
+def test_sweep_byte_identical_to_committed_golden(name):
+    result, _timing = execute_sweep(get_scenario(name), seeds=2)
+    got = json.dumps(result.to_dict(), sort_keys=True, indent=2) + "\n"
+    want = (GOLDENS / f"{name}-seeds2.json").read_text()
+    assert got == want, (
+        f"{name} drifted from its committed golden -- if the physics "
+        "change is intentional, regenerate tests/experiments/goldens/")
+
+
+def test_fig4_lowering_is_float_identical():
+    """The scalar reference path must reproduce the golden bytes too."""
+    with disable_lowering():
+        result, _timing = execute_sweep(get_scenario("fig4"), seeds=2)
+    got = json.dumps(result.to_dict(), sort_keys=True, indent=2) + "\n"
+    assert got == (GOLDENS / "fig4-seeds2.json").read_text()
