@@ -56,6 +56,11 @@ class ExperimentError(ReproError):
     """Invalid experiment configuration."""
 
 
+class FabricError(ExperimentError):
+    """Error in the distributed sweep fabric (:mod:`repro.experiments.fabric`):
+    protocol violations, unusable transports, or loss of every worker."""
+
+
 class ObservabilityError(ReproError):
     """Invalid trace record, metric operation, or export (:mod:`repro.obs`)."""
 

@@ -6,6 +6,8 @@
 * :mod:`repro.experiments.runner` -- replicated, seeded sweep execution.
 * :mod:`repro.experiments.executor` -- parallel cell execution and the
   content-addressed cell cache (``run_sweep(..., jobs=N, cache_dir=...)``).
+* :mod:`repro.experiments.fabric` -- the coordinator/worker sweep fabric
+  (typed messages, leases, heartbeats; ``execute_sweep_fabric``).
 * :mod:`repro.experiments.report` -- tables and ASCII charts.
 * :mod:`repro.experiments.cli` -- ``python -m repro.experiments fig4``.
 """
@@ -15,6 +17,12 @@ from repro.experiments.executor import (
     SweepTiming,
     append_bench_record,
     execute_sweep,
+)
+from repro.experiments.fabric import (
+    FabricConfig,
+    FabricStats,
+    WorkerChaos,
+    execute_sweep_fabric,
 )
 from repro.experiments.runner import SweepResult, run_sweep
 from repro.experiments.scenarios import (
@@ -27,12 +35,16 @@ from repro.experiments.report import ascii_chart, format_table
 __all__ = [
     "ALL_SCENARIOS",
     "CellCache",
+    "FabricConfig",
+    "FabricStats",
     "OnOffDynamism",
     "SweepResult",
     "SweepTiming",
+    "WorkerChaos",
     "append_bench_record",
     "ascii_chart",
     "execute_sweep",
+    "execute_sweep_fabric",
     "format_table",
     "get_scenario",
     "run_sweep",

@@ -43,6 +43,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for sweep cells "
                              "(default: 1, serial reference path)")
+    parser.add_argument("--fabric", action="store_true",
+                        help="run on the coordinator/worker sweep fabric "
+                             "instead of the process pool (see "
+                             "docs/FABRIC.md); result stays byte-identical")
+    parser.add_argument("--workers", type=int, default=4, metavar="N",
+                        help="fabric worker count (default: 4; only with "
+                             "--fabric)")
+    parser.add_argument("--fabric-transport",
+                        choices=("thread", "process", "socket"),
+                        default="process",
+                        help="fabric transport (default: process)")
+    parser.add_argument("--fabric-chaos", metavar="MODE:WORKER:AFTER",
+                        default=None,
+                        help="inject a worker loss (e.g. 'crash:0:2' = "
+                             "worker w0 dies after 2 cells); CI uses this "
+                             "to prove recovery keeps results "
+                             "byte-identical")
     parser.add_argument("--cache-dir", metavar="DIR", default=".sweep-cache",
                         help="content-addressed cell cache directory "
                              "(default: .sweep-cache/)")
@@ -106,10 +123,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return regenerate_all(args)
 
     spec = get_scenario(args.scenario)
-    cache_dir = None if args.no_cache else args.cache_dir
     session = _make_session(args)
-    result, timing = execute_sweep(spec, seeds=args.seeds, jobs=args.jobs,
-                                   cache_dir=cache_dir, obs_session=session)
+    result, timing, fabric_stats = _execute(args, spec, session)
 
     baseline = args.baseline if args.baseline in result.series else None
     print(format_table(result, baseline=baseline, show_events=args.events))
@@ -133,11 +148,41 @@ def main(argv: "list[str] | None" = None) -> int:
     if not args.no_bench:
         append_bench_record(args.bench_json, timing)
         print(f"\nwrote perf record to {args.bench_json}")
-    print(f"\n[{len(result.seeds)} seeds, {args.jobs} job(s), "
+    if fabric_stats is not None:
+        print(f"\n[fabric: {fabric_stats.workers} {fabric_stats.transport} "
+              f"worker(s), {fabric_stats.leases} leases, "
+              f"{fabric_stats.requeued_cells} requeued, "
+              f"{fabric_stats.workers_lost} worker(s) lost]")
+    print(f"\n[{len(result.seeds)} seeds, {timing.jobs} job(s), "
           f"{timing.wall_time:.2f}s; {timing.cells_computed}/"
           f"{timing.cells_total} cells computed, {timing.cache_hits} "
           f"cache hits, {timing.events_per_sec:.0f} events/s]")
     return 0
+
+
+def _execute(args, spec, session):
+    """Run one sweep on whichever backend the flags picked.
+
+    Returns ``(result, timing, fabric_stats)`` with ``fabric_stats``
+    None on the pool path.
+    """
+    cache_dir = None if args.no_cache else args.cache_dir
+    if not args.fabric:
+        if args.fabric_chaos is not None:
+            raise SystemExit("--fabric-chaos needs --fabric")
+        result, timing = execute_sweep(spec, seeds=args.seeds,
+                                       jobs=args.jobs, cache_dir=cache_dir,
+                                       obs_session=session)
+        return result, timing, None
+    from repro.experiments.fabric import (FabricConfig, WorkerChaos,
+                                          execute_sweep_fabric)
+
+    chaos = (WorkerChaos.parse(args.fabric_chaos)
+             if args.fabric_chaos is not None else None)
+    config = FabricConfig(workers=args.workers,
+                          transport=args.fabric_transport, chaos=chaos)
+    return execute_sweep_fabric(spec, seeds=args.seeds, config=config,
+                                cache_dir=cache_dir, obs_session=session)
 
 
 def _make_session(args):
@@ -187,13 +232,10 @@ def regenerate_all(args) -> int:
 
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
-    cache_dir = None if args.no_cache else args.cache_dir
     bench_path = outdir / "BENCH_sweeps.json"
     session = _make_session(args)
     for name, spec in sorted(ALL_SCENARIOS.items()):
-        result, timing = execute_sweep(spec, seeds=args.seeds,
-                                       jobs=args.jobs, cache_dir=cache_dir,
-                                       obs_session=session)
+        result, timing, _fabric_stats = _execute(args, spec, session)
         baseline = "nothing" if "nothing" in result.series else None
         (outdir / f"{name}.txt").write_text(
             format_table(result, baseline=baseline) + "\n")

@@ -231,6 +231,9 @@ class SweepTiming:
     engine_events: int
     x_points: int
     seeds: int
+    mode: str = "pool"
+    """Execution backend: ``"pool"`` (in-process / ProcessPoolExecutor)
+    or ``"fabric"`` (coordinator + workers, :mod:`.fabric`)."""
 
     @property
     def cells_per_sec(self) -> float:
@@ -248,6 +251,7 @@ class SweepTiming:
     def to_dict(self) -> dict:
         return {
             "scenario": self.scenario,
+            "mode": self.mode,
             "jobs": self.jobs,
             "wall_time_s": self.wall_time,
             "cells_total": self.cells_total,
@@ -263,27 +267,50 @@ class SweepTiming:
         }
 
 
+#: Distinguishes concurrent same-process writers of one bench file.
+_BENCH_TMP_SEQ = iter(range(1, 1 << 62))
+
+
 def append_bench_record(path: "str | os.PathLike",
                         timing: SweepTiming) -> dict:
     """Fold one timing record into a ``BENCH_sweeps.json`` file.
 
-    Records are keyed by ``(scenario, jobs)``; the latest run wins, and
-    the file stays sorted so diffs across commits read as a trajectory.
-    Returns the document written.
+    Records are keyed by ``(scenario, mode, jobs)``; the latest run wins,
+    and the file stays sorted so diffs across commits read as a
+    trajectory.  The write is atomic (temp file + ``os.replace``, the
+    cell cache's pattern), so a reader -- or a concurrent sweep
+    invocation -- never observes a half-written file; an existing file
+    that fails to parse is preserved next to the new one (``.corrupt``
+    suffix) rather than silently destroyed.  Returns the document
+    written.
     """
     path = Path(path)
-    records: "dict[tuple[str, int], dict]" = {}
+    records: "dict[tuple[str, str, int], dict]" = {}
     try:
-        for record in json.loads(path.read_text())["records"]:
-            records[(str(record["scenario"]), int(record["jobs"]))] = record
-    except (OSError, ValueError, TypeError, KeyError):
-        records = {}
+        text = path.read_text()
+    except OSError:
+        text = None
+    if text is not None:
+        try:
+            for record in json.loads(text)["records"]:
+                record.setdefault("mode", "pool")
+                records[(str(record["scenario"]), str(record["mode"]),
+                         int(record["jobs"]))] = record
+        except (ValueError, TypeError, KeyError, AttributeError):
+            # Unparseable perf file: keep the evidence, start fresh.
+            path.with_name(f"{path.name}.corrupt").write_text(text)
+            records = {}
     record = timing.to_dict()
-    records[(record["scenario"], record["jobs"])] = record
-    doc = {"version": 2, "tool": "sweep-bench",
+    records[(record["scenario"], record["mode"], record["jobs"])] = record
+    doc = {"version": 3, "tool": "sweep-bench",
            "records": [records[key] for key in sorted(records)]}
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    # Unique per process *and* per call: concurrent appenders (processes
+    # or threads) each replace a complete document, never share a temp.
+    tmp = path.with_name(
+        f"{path.name}.tmp{os.getpid()}-{next(_BENCH_TMP_SEQ)}")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
     return doc
 
 
@@ -300,6 +327,69 @@ def _normalize_seeds(spec: ExperimentSpec,
     if not seed_list:
         raise ExperimentError("need at least one seed")
     return seed_list
+
+
+#: One not-yet-computed cell: grid coordinates, values, and cache digest
+#: (``""`` when caching is off).
+PendingCell = "tuple[int, int, float, int, str]"
+
+
+def plan_cells(spec: ExperimentSpec, seed_list: "list[int]",
+               cache: "CellCache | None", *, instrument: bool = False,
+               on_point: "Callable[[float, int], None] | None" = None,
+               ) -> "tuple[dict[tuple[int, int], CellResult], list[PendingCell]]":
+    """Grid-order cache scan shared by the pool executor and the fabric.
+
+    Returns ``(cells, pending)``: the cache hits keyed by ``(xi, si)``
+    and the grid-ordered list of cells still to compute (with the digest
+    each result should be stored under).  ``on_point`` fires once per
+    cell -- hit or miss -- in grid order.
+    """
+    fingerprint = spec.fingerprint() if cache is not None else ""
+    cells: "dict[tuple[int, int], CellResult]" = {}
+    pending: "list[PendingCell]" = []
+    for xi, x in enumerate(spec.x_values):
+        for si, seed in enumerate(seed_list):
+            if on_point is not None:
+                on_point(x, seed)
+            digest = ""
+            if cache is not None:
+                digest = cell_digest(spec.name, fingerprint, x, seed,
+                                     instrumented=instrument)
+                cached = cache.load(digest)
+                if cached is not None:
+                    cells[(xi, si)] = cached
+                    continue
+            pending.append((xi, si, x, seed, digest))
+    return cells, pending
+
+
+def fold_obs(obs_session: "obs.ObsSession", spec: ExperimentSpec,
+             seed_list: "list[int]",
+             cells: "dict[tuple[int, int], CellResult]") -> None:
+    """Fold per-cell trace records and metrics into ``obs_session``.
+
+    Strictly grid order, exactly like :func:`merge_cells`: completion
+    order, worker count, and cache state cannot reorder the merged trace.
+    """
+    for xi, _x in enumerate(spec.x_values):
+        for si, _seed in enumerate(seed_list):
+            cell = cells[(xi, si)]
+            obs_session.trace.extend(cell.trace_events)
+            obs_session.metrics.merge_dict(cell.metrics)
+
+
+def cell_failure(spec: ExperimentSpec, x: float, seed: int,
+                 exc: BaseException) -> ExperimentError:
+    """The error raised when one cell's computation fails.
+
+    Always carries the cell's full coordinates -- ``(scenario, x, seed)``
+    -- so a failure deep inside a worker process (or a fabric worker on
+    another machine) is attributable without re-running the sweep.
+    """
+    return ExperimentError(
+        f"{spec.name}: cell (x={x!r}, seed={seed}) failed: "
+        f"{type(exc).__name__}: {exc}")
 
 
 def merge_cells(spec: ExperimentSpec, seed_list: "list[int]",
@@ -387,31 +477,17 @@ def execute_sweep(spec: ExperimentSpec,
     instrument = obs_session is not None
     started = time.perf_counter()  # simlint: disable=SL001 (perf record of the host run, not simulated time)
 
-    coords = [(xi, x, si, seed)
-              for xi, x in enumerate(spec.x_values)
-              for si, seed in enumerate(seed_list)]
-
     cache = CellCache(cache_dir) if cache_dir is not None else None
-    fingerprint = spec.fingerprint() if cache is not None else ""
-
-    cells: "dict[tuple[int, int], CellResult]" = {}
-    pending: "list[tuple[int, int, float, int, str]]" = []
-    for xi, x, si, seed in coords:
-        if on_point is not None:
-            on_point(x, seed)
-        digest = ""
-        if cache is not None:
-            digest = cell_digest(spec.name, fingerprint, x, seed,
-                                 instrumented=instrument)
-            cached = cache.load(digest)
-            if cached is not None:
-                cells[(xi, si)] = cached
-                continue
-        pending.append((xi, si, x, seed, digest))
+    cells, pending = plan_cells(spec, seed_list, cache,
+                                instrument=instrument, on_point=on_point)
+    cells_total = len(spec.x_values) * len(seed_list)
 
     if pending and jobs == 1:
         for xi, si, x, seed, digest in pending:
-            cell = compute_cell(spec, x, seed, instrument=instrument)
+            try:
+                cell = compute_cell(spec, x, seed, instrument=instrument)
+            except Exception as exc:
+                raise cell_failure(spec, x, seed, exc) from exc
             cells[(xi, si)] = cell
             if cache is not None:
                 cache.store(digest, cell, scenario=spec.name, x=x, seed=seed)
@@ -421,29 +497,36 @@ def execute_sweep(spec: ExperimentSpec,
                 pool.submit(compute_cell, spec, x, seed,
                             instrument=instrument): (xi, si, x, seed, digest)
                 for xi, si, x, seed, digest in pending}
-            for future in as_completed(futures):
-                xi, si, x, seed, digest = futures[future]
-                cell = future.result()
-                cells[(xi, si)] = cell
-                if cache is not None:
-                    cache.store(digest, cell, scenario=spec.name, x=x,
-                                seed=seed)
+            try:
+                for future in as_completed(futures):
+                    xi, si, x, seed, digest = futures[future]
+                    try:
+                        cell = future.result()
+                    except Exception as exc:
+                        raise cell_failure(spec, x, seed, exc) from exc
+                    cells[(xi, si)] = cell
+                    if cache is not None:
+                        cache.store(digest, cell, scenario=spec.name, x=x,
+                                    seed=seed)
+            except BaseException:
+                # One cell failed (or the caller interrupted): cancel
+                # everything not yet started and drain the cells already
+                # running, so no orphaned worker outlives the sweep and
+                # the raised error is the first failure, not a pile-up.
+                for other in futures:
+                    other.cancel()
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
 
     result = merge_cells(spec, seed_list, cells)
     if obs_session is not None:
-        # Grid order, exactly like merge_cells: completion order and
-        # cache state cannot reorder the merged trace.
-        for xi, _x in enumerate(spec.x_values):
-            for si, _seed in enumerate(seed_list):
-                cell = cells[(xi, si)]
-                obs_session.trace.extend(cell.trace_events)
-                obs_session.metrics.merge_dict(cell.metrics)
+        fold_obs(obs_session, spec, seed_list, cells)
     wall = time.perf_counter() - started  # simlint: disable=SL001 (perf record of the host run, not simulated time)
     computed = [cells[(xi, si)] for xi, si, _x, _seed, _d in pending]
     timing = SweepTiming(
         scenario=spec.name, jobs=jobs, wall_time=wall,
-        cells_total=len(coords), cells_computed=len(pending),
-        cache_hits=len(coords) - len(pending),
+        cells_total=cells_total, cells_computed=len(pending),
+        cache_hits=cells_total - len(pending),
         iterations=sum(cell.iterations for cell in computed),
         engine_events=sum(cell.engine_events for cell in computed),
         x_points=len(spec.x_values), seeds=len(seed_list))

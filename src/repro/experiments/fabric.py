@@ -1,0 +1,953 @@
+"""Distributed sweep fabric: one coordinator, N workers, typed messages.
+
+The :mod:`~repro.experiments.executor` fans cells over a single
+machine's ``ProcessPoolExecutor``; this module is the scale-out story
+(ROADMAP item 1, in the style of panda-yoda's Yoda/Droid split): a
+**coordinator** streams ``(x, seed)`` cells through a work queue with
+batched *leases*, **workers** pull cells and push results, and every
+conversation is a typed, versioned :class:`Envelope` carried by a
+pluggable transport:
+
+* ``thread``   -- in-process queues; workers are daemon threads.  Cell
+  computation is serialized by a lock (the simulation uses per-process
+  ambient state -- the obs session, the kernel event tally -- that
+  threads would trample), so this transport exists to exercise the full
+  message protocol deterministically in tests, not for speedup.
+* ``process``  -- one ``multiprocessing.Process`` per worker over a
+  duplex ``Pipe``.  The real same-machine backend.
+* ``socket``   -- workers connect to the coordinator over a Unix-domain
+  socket carrying length-prefixed pickled envelopes.  The worker side
+  only needs the address, so the same protocol extends to remote
+  launchers.
+
+Protocol (see docs/FABRIC.md for the full schema):
+
+* worker -> coordinator: ``REQUEST_WORK``, ``CELL_RESULT``, ``HEARTBEAT``
+* coordinator -> worker: ``ASSIGN_CELLS`` (a lease), ``DRAIN`` (idle,
+  ask again), ``SHUTDOWN`` (exit now)
+
+Every message from a worker refreshes its liveness; a worker whose
+process died, or that has been silent longer than
+:attr:`FabricConfig.lease_timeout`, has its leased cells *requeued* and
+(budget permitting) a replacement worker launched.  Results are keyed by
+grid coordinates and merged by the executor's
+:func:`~repro.experiments.executor.merge_cells`, so a fabric run is
+**byte-identical** to the ``jobs=1`` serial reference no matter how
+cells were distributed, re-leased, or recomputed (duplicate results of a
+deterministic cell are equal; the first one wins).  Computed cells are
+written to the content-addressed cell cache *as they arrive*, so a run
+that loses its coordinator resumes from the cache.
+
+Worker-loss testing reuses the :mod:`repro.faults` vocabulary at the
+fabric layer: a :class:`WorkerChaos` revokes one worker after it has
+computed a configured number of cells -- by crashing it, hard-killing
+the process (``SIGKILL``), or hanging it (alive but silent, the
+heartbeat-expiry path).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import select
+import signal
+import socket
+import struct
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro import obs
+from repro.errors import FabricError
+from repro.experiments.executor import (CellCache, CellResult, SweepTiming,
+                                        cell_failure, compute_cell, fold_obs,
+                                        merge_cells, plan_cells)
+from repro.experiments.runner import SweepResult
+from repro.experiments.scenarios import ExperimentSpec
+
+#: Version stamped into every envelope; receivers reject mismatches
+#: instead of guessing, so mixed-version fleets fail loudly.
+PROTOCOL_VERSION = 1
+
+# -- message kinds ----------------------------------------------------------
+
+REQUEST_WORK = "REQUEST_WORK"
+ASSIGN_CELLS = "ASSIGN_CELLS"
+CELL_RESULT = "CELL_RESULT"
+HEARTBEAT = "HEARTBEAT"
+DRAIN = "DRAIN"
+SHUTDOWN = "SHUTDOWN"
+
+MESSAGE_KINDS = frozenset({REQUEST_WORK, ASSIGN_CELLS, CELL_RESULT,
+                           HEARTBEAT, DRAIN, SHUTDOWN})
+
+#: Sender id of the coordinator end of every channel.
+COORDINATOR = "coordinator"
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One typed, versioned fabric message."""
+
+    kind: str
+    sender: str
+    payload: dict = field(default_factory=dict)
+    version: int = PROTOCOL_VERSION
+
+    def __post_init__(self) -> None:
+        if self.kind not in MESSAGE_KINDS:
+            raise FabricError(f"unknown message kind {self.kind!r}")
+
+    def to_wire(self) -> dict:
+        """Plain-dict spelling (what the socket transport pickles)."""
+        return {"kind": self.kind, "sender": self.sender,
+                "payload": self.payload, "version": self.version}
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "Envelope":
+        try:
+            env = cls(kind=data["kind"], sender=data["sender"],
+                      payload=dict(data["payload"]),
+                      version=int(data["version"]))
+        except FabricError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FabricError(f"malformed envelope {data!r}: {exc}") from exc
+        if env.version != PROTOCOL_VERSION:
+            raise FabricError(
+                f"protocol version mismatch: got {env.version}, "
+                f"speak {PROTOCOL_VERSION}")
+        return env
+
+
+# -- fault injection --------------------------------------------------------
+
+#: Chaos modes: how the targeted worker is lost.
+CHAOS_MODES = ("crash", "kill", "hang")
+
+
+@dataclass(frozen=True)
+class WorkerChaos:
+    """Deterministically revoke one worker after ``after_cells`` cells.
+
+    The fabric-layer analogue of a :mod:`repro.faults` host revocation:
+    ``crash`` exits the worker loop abruptly (no message, channel
+    closed), ``kill`` delivers ``SIGKILL`` to the worker process (process
+    transports only -- a genuinely hard death), and ``hang`` leaves the
+    worker alive but silent, which only the coordinator's lease-expiry
+    clock can detect.
+    """
+
+    mode: str
+    worker: str
+    """Worker id, e.g. ``"w0"`` (replacements get fresh ids, so an
+    injected fault fires at most once)."""
+    after_cells: int
+
+    def __post_init__(self) -> None:
+        if self.mode not in CHAOS_MODES:
+            raise FabricError(
+                f"unknown chaos mode {self.mode!r}; pick from {CHAOS_MODES}")
+        if self.after_cells < 0:
+            raise FabricError("after_cells must be >= 0")
+
+    @classmethod
+    def parse(cls, text: str) -> "WorkerChaos":
+        """Parse the CLI spelling ``mode:worker_index:after_cells``."""
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise FabricError(
+                f"chaos spec {text!r} is not mode:worker:after_cells")
+        mode, worker, after = parts
+        try:
+            return cls(mode=mode, worker=f"w{int(worker)}",
+                       after_cells=int(after))
+        except ValueError as exc:
+            raise FabricError(f"bad chaos spec {text!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Everything that shapes one fabric run (but never its result)."""
+
+    workers: int = 2
+    transport: str = "process"
+    lease_size: int = 4
+    """Cells per ``ASSIGN_CELLS`` batch."""
+    lease_timeout: float = 30.0
+    """Seconds of worker silence before its lease is revoked.  Must
+    exceed the worst single-cell compute time (workers heartbeat between
+    cells, not during one)."""
+    poll_interval: float = 0.005
+    """Coordinator sleep when no messages are waiting (seconds)."""
+    drain_pause: float = 0.02
+    """Worker pause after a ``DRAIN`` before re-requesting work."""
+    max_worker_restarts: int = 4
+    """Replacement workers the coordinator may launch before it starts
+    shrinking the fleet instead."""
+    chaos: "WorkerChaos | None" = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise FabricError(f"workers must be >= 1, got {self.workers}")
+        if self.lease_size < 1:
+            raise FabricError(f"lease_size must be >= 1, got {self.lease_size}")
+        if self.transport not in ("thread", "process", "socket"):
+            raise FabricError(
+                f"unknown transport {self.transport!r}; pick from "
+                f"('thread', 'process', 'socket')")
+        if (self.chaos is not None and self.chaos.mode == "kill"
+                and self.transport == "thread"):
+            raise FabricError(
+                "chaos mode 'kill' needs a process transport (SIGKILL "
+                "from a thread worker would take down the coordinator)")
+
+
+@dataclass
+class FabricStats:
+    """Operational counters of one fabric run (wall-clock flavored --
+    *not* part of the deterministic result)."""
+
+    transport: str = ""
+    workers: int = 0
+    leases: int = 0
+    requeued_cells: int = 0
+    revoked_leases: int = 0
+    heartbeats: int = 0
+    work_requests: int = 0
+    workers_started: int = 0
+    workers_lost: int = 0
+    duplicate_results: int = 0
+    worker_lifetimes: "dict[str, float]" = field(default_factory=dict)
+    """Seconds between launch and loss/shutdown, per worker id."""
+
+    def to_dict(self) -> dict:
+        return {
+            "transport": self.transport,
+            "workers": self.workers,
+            "leases": self.leases,
+            "requeued_cells": self.requeued_cells,
+            "revoked_leases": self.revoked_leases,
+            "heartbeats": self.heartbeats,
+            "work_requests": self.work_requests,
+            "workers_started": self.workers_started,
+            "workers_lost": self.workers_lost,
+            "duplicate_results": self.duplicate_results,
+            "worker_lifetimes": {wid: self.worker_lifetimes[wid]
+                                 for wid in sorted(self.worker_lifetimes)},
+        }
+
+
+# -- channels ---------------------------------------------------------------
+#
+# A channel is one duplex coordinator<->worker conversation.  The
+# coordinator side needs non-blocking poll/recv (it multiplexes many
+# workers); the worker side needs a blocking recv with timeout.
+
+
+class ChannelClosed(FabricError):
+    """The peer hung up (worker death, coordinator death)."""
+
+
+class _QueuePair:
+    """Thread-transport channel half: two in-process queues."""
+
+    def __init__(self, inbox: "queue.SimpleQueue", outbox: "queue.SimpleQueue",
+                 ) -> None:
+        self._inbox = inbox
+        self._outbox = outbox
+
+    def send(self, env: Envelope) -> None:
+        self._outbox.put(env)
+
+    def poll(self) -> bool:
+        return not self._inbox.empty()
+
+    def recv(self, timeout: "float | None" = None) -> "Envelope | None":
+        try:
+            return self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def close(self) -> None:  # queues are garbage-collected with the run
+        pass
+
+
+class _PipeChannel:
+    """Process-transport channel half: one end of ``multiprocessing.Pipe``."""
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def send(self, env: Envelope) -> None:
+        try:
+            self._conn.send(env)
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            raise ChannelClosed(f"pipe send failed: {exc}") from exc
+
+    def poll(self) -> bool:
+        try:
+            return self._conn.poll()
+        except (OSError, ValueError):
+            raise ChannelClosed("pipe poll failed")
+
+    def recv(self, timeout: "float | None" = None) -> "Envelope | None":
+        try:
+            if not self._conn.poll(timeout):
+                return None
+            return self._conn.recv()
+        except (EOFError, OSError, ValueError) as exc:
+            raise ChannelClosed(f"pipe closed: {exc}") from exc
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+class _SocketChannel:
+    """Socket-transport channel half: length-prefixed pickled envelopes.
+
+    Frames are ``struct('>I')`` length + ``pickle(envelope.to_wire())``;
+    :meth:`recv` revalidates kind and version through
+    :meth:`Envelope.from_wire`, so a wire peer cannot smuggle an untyped
+    message past the protocol.
+    """
+
+    _HEADER = struct.Struct(">I")
+
+    def __init__(self, sock: "socket.socket") -> None:
+        self._sock = sock
+        self._buffer = bytearray()
+        self._pending: "Envelope | None" = None
+
+    def send(self, env: Envelope) -> None:
+        frame = pickle.dumps(env.to_wire(), protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            self._sock.sendall(self._HEADER.pack(len(frame)) + frame)
+        except OSError as exc:
+            raise ChannelClosed(f"socket send failed: {exc}") from exc
+
+    def _pump(self, timeout: float) -> None:
+        """Pull whatever bytes are ready into the frame buffer."""
+        try:
+            ready, _, _ = select.select([self._sock], [], [], timeout)
+            if not ready:
+                return
+            chunk = self._sock.recv(1 << 16)
+        except OSError as exc:
+            raise ChannelClosed(f"socket recv failed: {exc}") from exc
+        if not chunk:
+            raise ChannelClosed("socket peer hung up")
+        self._buffer.extend(chunk)
+
+    def _take_frame(self) -> "Envelope | None":
+        header = self._HEADER.size
+        if len(self._buffer) < header:
+            return None
+        (length,) = self._HEADER.unpack(self._buffer[:header])
+        if len(self._buffer) < header + length:
+            return None
+        frame = bytes(self._buffer[header:header + length])
+        del self._buffer[:header + length]
+        return Envelope.from_wire(pickle.loads(frame))
+
+    def poll(self) -> bool:
+        env = self._take_frame()
+        if env is not None:
+            self._pending = env
+            return True
+        self._pump(0.0)
+        env = self._take_frame()
+        if env is not None:
+            self._pending = env
+            return True
+        return False
+
+    def recv(self, timeout: "float | None" = None) -> "Envelope | None":
+        pending = getattr(self, "_pending", None)
+        if pending is not None:
+            self._pending = None
+            return pending
+        env = self._take_frame()
+        if env is not None:
+            return env
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)  # simlint: disable=SL001 (transport timeout, host time)
+        while True:
+            remaining = (0.05 if deadline is None
+                         else deadline - time.monotonic())  # simlint: disable=SL001 (transport timeout, host time)
+            if deadline is not None and remaining <= 0:
+                return None
+            self._pump(max(0.0, remaining))
+            env = self._take_frame()
+            if env is not None:
+                return env
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+# -- the worker -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Per-worker knobs shipped to the worker side of the channel."""
+
+    worker_id: str
+    drain_pause: float = 0.02
+    serialize_compute: bool = False
+    """Thread transport only: hold the module compute lock around
+    :func:`compute_cell` (ambient obs/session state is per-process)."""
+    chaos: "WorkerChaos | None" = None
+
+
+#: Guards compute_cell for thread-transport workers (see module doc).
+_COMPUTE_LOCK = threading.Lock()
+
+
+class _ChaosTriggered(Exception):
+    """Internal: the injected fault fired; unwind the worker loop."""
+
+
+def _apply_chaos(config: WorkerConfig, cells_done: int) -> None:
+    chaos = config.chaos
+    if chaos is None or chaos.worker != config.worker_id:
+        return
+    if cells_done < chaos.after_cells:
+        return
+    if chaos.mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)  # never returns
+    if chaos.mode == "hang":
+        while True:  # alive but silent: only lease expiry catches this
+            time.sleep(0.2)  # pragma: no cover - killed by coordinator
+    raise _ChaosTriggered  # "crash": vanish without a goodbye message
+
+
+def worker_main(channel, spec: ExperimentSpec, instrument: bool,
+                config: WorkerConfig) -> None:
+    """The worker loop every transport runs (thread, process, or remote).
+
+    Pull-based: request work, compute each leased cell, push a
+    ``CELL_RESULT`` per cell (success or failure -- a failing cell is
+    reported with its coordinates, not swallowed), heartbeat between
+    cells, and repeat until ``SHUTDOWN``.
+    """
+    me = config.worker_id
+
+    def send(kind: str, **payload) -> None:
+        channel.send(Envelope(kind=kind, sender=me, payload=payload))
+
+    cells_done = 0
+    try:
+        send(REQUEST_WORK)
+        while True:
+            env = channel.recv(timeout=1.0)
+            if env is None:
+                send(HEARTBEAT, cells_done=cells_done)
+                continue
+            if env.kind == SHUTDOWN:
+                return
+            if env.kind == DRAIN:
+                time.sleep(config.drain_pause)
+                send(REQUEST_WORK)
+                continue
+            if env.kind != ASSIGN_CELLS:
+                raise FabricError(
+                    f"worker {me} got unexpected {env.kind}")
+            lease_id = env.payload["lease"]
+            for cell in env.payload["cells"]:
+                _apply_chaos(config, cells_done)
+                x, seed = cell["x"], cell["seed"]
+                try:
+                    if config.serialize_compute:
+                        with _COMPUTE_LOCK:
+                            result = compute_cell(spec, x, seed,
+                                                  instrument=instrument)
+                    else:
+                        result = compute_cell(spec, x, seed,
+                                              instrument=instrument)
+                except Exception as exc:
+                    send(CELL_RESULT, lease=lease_id, xi=cell["xi"],
+                         si=cell["si"], x=x, seed=seed, ok=False,
+                         error=f"{type(exc).__name__}: {exc}")
+                    continue
+                cells_done += 1
+                send(CELL_RESULT, lease=lease_id, xi=cell["xi"],
+                     si=cell["si"], x=x, seed=seed, ok=True,
+                     cell=result.to_payload())
+                send(HEARTBEAT, cells_done=cells_done)
+            send(REQUEST_WORK)
+    except (ChannelClosed, _ChaosTriggered):
+        return  # coordinator died or chaos fired: just vanish
+    finally:
+        channel.close()
+
+
+def _process_worker_entry(conn, spec, instrument, config):  # pragma: no cover - child process
+    worker_main(_PipeChannel(conn), spec, instrument, config)
+
+
+def _socket_worker_entry(address, spec, instrument, config):  # pragma: no cover - child process
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(address)
+    worker_main(_SocketChannel(sock), spec, instrument, config)
+
+
+# -- transports -------------------------------------------------------------
+
+
+@dataclass
+class WorkerHandle:
+    """Coordinator-side view of one launched worker."""
+
+    worker_id: str
+    channel: object
+    is_alive: "Callable[[], bool]"
+    kill: "Callable[[], None]"
+    join: "Callable[[float], None]"
+    started: float = 0.0
+    """``time.monotonic()`` at launch (worker-lifetime accounting)."""
+
+
+class ThreadTransport:
+    """Daemon threads + in-process queues (protocol tests)."""
+
+    name = "thread"
+
+    def launch(self, spec, instrument, config: WorkerConfig) -> WorkerHandle:
+        to_worker: "queue.SimpleQueue" = queue.SimpleQueue()
+        to_coord: "queue.SimpleQueue" = queue.SimpleQueue()
+        worker_channel = _QueuePair(inbox=to_worker, outbox=to_coord)
+        coord_channel = _QueuePair(inbox=to_coord, outbox=to_worker)
+        config = replace(config, serialize_compute=True)
+        thread = threading.Thread(
+            target=worker_main, args=(worker_channel, spec, instrument, config),
+            name=f"fabric-{config.worker_id}", daemon=True)
+        thread.start()
+        return WorkerHandle(
+            worker_id=config.worker_id, channel=coord_channel,
+            is_alive=thread.is_alive, kill=lambda: None,
+            join=lambda timeout: thread.join(timeout),
+            started=time.monotonic())  # simlint: disable=SL001 (worker-lifetime accounting, host time)
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessTransport:
+    """One ``multiprocessing.Process`` per worker over a duplex pipe."""
+
+    name = "process"
+
+    def launch(self, spec, instrument, config: WorkerConfig) -> WorkerHandle:
+        import multiprocessing
+
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+        process = multiprocessing.Process(
+            target=_process_worker_entry,
+            args=(child_conn, spec, instrument, config),
+            name=f"fabric-{config.worker_id}", daemon=True)
+        process.start()
+        child_conn.close()  # the parent keeps only its own end
+
+        def kill() -> None:
+            if process.is_alive():
+                process.kill()
+
+        return WorkerHandle(
+            worker_id=config.worker_id, channel=_PipeChannel(parent_conn),
+            is_alive=process.is_alive, kill=kill,
+            join=lambda timeout: process.join(timeout),
+            started=time.monotonic())  # simlint: disable=SL001 (worker-lifetime accounting, host time)
+
+    def close(self) -> None:
+        pass
+
+
+class SocketTransport:
+    """Workers connect back over a Unix-domain socket.
+
+    The launcher here spawns local processes for the test/benchmark
+    story, but the worker side (:func:`_socket_worker_entry`) needs only
+    the address -- the same protocol serves remote launchers.
+    """
+
+    name = "socket"
+
+    def __init__(self) -> None:
+        self._dir = tempfile.mkdtemp(prefix="repro-fabric-")
+        self.address = os.path.join(self._dir, "fabric.sock")
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(self.address)
+        self._listener.listen()
+
+    def launch(self, spec, instrument, config: WorkerConfig) -> WorkerHandle:
+        import multiprocessing
+
+        process = multiprocessing.Process(
+            target=_socket_worker_entry,
+            args=(self.address, spec, instrument, config),
+            name=f"fabric-{config.worker_id}", daemon=True)
+        process.start()
+        self._listener.settimeout(10.0)
+        try:
+            conn, _ = self._listener.accept()
+        except TimeoutError as exc:
+            process.kill()
+            raise FabricError(
+                f"worker {config.worker_id} never connected") from exc
+
+        def kill() -> None:
+            if process.is_alive():
+                process.kill()
+
+        return WorkerHandle(
+            worker_id=config.worker_id, channel=_SocketChannel(conn),
+            is_alive=process.is_alive, kill=kill,
+            join=lambda timeout: process.join(timeout),
+            started=time.monotonic())  # simlint: disable=SL001 (worker-lifetime accounting, host time)
+
+    def close(self) -> None:
+        try:
+            self._listener.close()
+            os.unlink(self.address)
+            os.rmdir(self._dir)
+        except OSError:
+            pass
+
+
+def make_transport(name: str):
+    if name == "thread":
+        return ThreadTransport()
+    if name == "process":
+        return ProcessTransport()
+    if name == "socket":
+        return SocketTransport()
+    raise FabricError(f"unknown transport {name!r}")
+
+
+# -- the coordinator --------------------------------------------------------
+
+
+@dataclass
+class _Lease:
+    lease_id: int
+    worker_id: str
+    outstanding: "set[tuple[int, int]]"
+
+
+@dataclass
+class _Worker:
+    handle: WorkerHandle
+    last_seen: float
+    lease: "_Lease | None" = None
+
+
+class Coordinator:
+    """Owns the work queue, the leases, and the liveness clock."""
+
+    def __init__(self, spec: ExperimentSpec, seed_list: "list[int]", *,
+                 config: FabricConfig, cache: "CellCache | None",
+                 instrument: bool,
+                 on_cell: "Callable[[int, int], None] | None" = None) -> None:
+        self.spec = spec
+        self.seed_list = seed_list
+        self.config = config
+        self.cache = cache
+        self.instrument = instrument
+        self.on_cell = on_cell
+        self.stats = FabricStats(transport=config.transport,
+                                 workers=config.workers)
+        self.cells: "dict[tuple[int, int], CellResult]" = {}
+        #: Grid-order queue of cells still to assign.
+        self.queue: "deque[dict]" = deque()
+        #: Cell coordinates -> full cell record (for requeuing).
+        self._cell_specs: "dict[tuple[int, int], dict]" = {}
+        self._workers: "dict[str, _Worker]" = {}
+        self._next_lease = 0
+        self._next_worker = 0
+        self._restarts = 0
+        self._transport = None
+        self._failure: "ExperimentError | None" = None
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _launch_worker(self) -> None:
+        worker_id = f"w{self._next_worker}"
+        self._next_worker += 1
+        config = WorkerConfig(worker_id=worker_id,
+                              drain_pause=self.config.drain_pause,
+                              chaos=self.config.chaos)
+        handle = self._transport.launch(self.spec, self.instrument, config)
+        self._workers[worker_id] = _Worker(handle=handle,
+                                           last_seen=handle.started)
+        self.stats.workers_started += 1
+
+    def _lose_worker(self, worker_id: str, now: float) -> None:
+        """Revoke the worker's lease, requeue its cells, drop the worker."""
+        worker = self._workers.pop(worker_id)
+        self.stats.workers_lost += 1
+        self.stats.worker_lifetimes[worker_id] = now - worker.handle.started
+        if worker.lease is not None:
+            self.stats.revoked_leases += 1
+            for key in sorted(worker.lease.outstanding):
+                if key not in self.cells:
+                    self.queue.append(self._cell_specs[key])
+                    self.stats.requeued_cells += 1
+        worker.handle.kill()
+        worker.handle.channel.close()
+        incomplete = len(self.cells) < len(self._cell_specs)
+        if incomplete and self._failure is None:
+            if self._restarts < self.config.max_worker_restarts:
+                self._restarts += 1
+                self._launch_worker()
+            elif not self._workers:
+                raise FabricError(
+                    f"{self.spec.name}: every fabric worker died and the "
+                    f"restart budget ({self.config.max_worker_restarts}) "
+                    f"is spent with "
+                    f"{len(self._cell_specs) - len(self.cells)} cells "
+                    f"incomplete")
+
+    # -- message handling ---------------------------------------------------
+
+    def _assign(self, worker: _Worker) -> None:
+        batch = []
+        while self.queue and len(batch) < self.config.lease_size:
+            cell = self.queue.popleft()
+            if (cell["xi"], cell["si"]) in self.cells:
+                continue  # completed by a revoked-but-live worker meanwhile
+            batch.append(cell)
+        if not batch:
+            worker.handle.channel.send(
+                Envelope(kind=DRAIN, sender=COORDINATOR))
+            return
+        lease = _Lease(lease_id=self._next_lease,
+                       worker_id=worker.handle.worker_id,
+                       outstanding={(c["xi"], c["si"]) for c in batch})
+        self._next_lease += 1
+        worker.lease = lease
+        self.stats.leases += 1
+        worker.handle.channel.send(Envelope(
+            kind=ASSIGN_CELLS, sender=COORDINATOR,
+            payload={"lease": lease.lease_id, "cells": batch}))
+
+    def _on_result(self, worker: _Worker, env: Envelope) -> None:
+        payload = env.payload
+        key = (int(payload["xi"]), int(payload["si"]))
+        if not payload.get("ok", False):
+            # A failing cell is a sweep failure, with full coordinates --
+            # record it, then drain the fleet before raising.
+            exc = FabricError(str(payload.get("error", "unknown error")))
+            self._failure = cell_failure(self.spec, payload["x"],
+                                         payload["seed"], exc)
+            return
+        if worker.lease is not None:
+            worker.lease.outstanding.discard(key)
+            if not worker.lease.outstanding:
+                worker.lease = None
+        if key in self.cells:
+            self.stats.duplicate_results += 1
+            return  # deterministic recompute of a re-leased cell
+        cell = CellResult.from_payload(payload["cell"])
+        self.cells[key] = cell
+        if self.cache is not None:
+            digest = self._cell_specs[key]["digest"]
+            self.cache.store(digest, cell, scenario=self.spec.name,
+                             x=payload["x"], seed=payload["seed"])
+        if self.on_cell is not None:
+            self.on_cell(*key)
+
+    def _handle(self, worker: _Worker, env: Envelope, now: float) -> None:
+        worker.last_seen = now
+        if env.kind == REQUEST_WORK:
+            self.stats.work_requests += 1
+            if self._failure is None:
+                self._assign(worker)
+            else:
+                worker.handle.channel.send(
+                    Envelope(kind=DRAIN, sender=COORDINATOR))
+        elif env.kind == HEARTBEAT:
+            self.stats.heartbeats += 1
+        elif env.kind == CELL_RESULT:
+            self._on_result(worker, env)
+        else:
+            raise FabricError(
+                f"coordinator got unexpected {env.kind} from "
+                f"{env.sender}")
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self) -> "dict[tuple[int, int], CellResult]":
+        cells, pending = plan_cells(self.spec, self.seed_list, self.cache,
+                                    instrument=self.instrument)
+        self.cells.update(cells)
+        for xi, si, x, seed, digest in pending:
+            record = {"xi": xi, "si": si, "x": x, "seed": seed,
+                      "digest": digest}
+            self.queue.append(record)
+            self._cell_specs[(xi, si)] = record
+        total = len(self.spec.x_values) * len(self.seed_list)
+        if len(self.cells) >= total:
+            return self.cells  # fully warm cache: no fleet needed
+
+        self._transport = make_transport(self.config.transport)
+        try:
+            for _ in range(self.config.workers):
+                self._launch_worker()
+            while len(self.cells) < total and self._failure is None:
+                if not self._drive():
+                    time.sleep(self.config.poll_interval)
+            if self._failure is not None:
+                raise self._failure
+            return self.cells
+        finally:
+            self._shutdown_fleet()
+            self._transport.close()
+
+    def _drive(self) -> bool:
+        """One poll round: pump messages, expire leases.  True if any
+        message was handled (the caller sleeps otherwise)."""
+        progressed = False
+        now = time.monotonic()  # simlint: disable=SL001 (lease/liveness clock, host time)
+        for worker_id in list(self._workers):
+            worker = self._workers.get(worker_id)
+            if worker is None:
+                continue
+            try:
+                while worker.handle.channel.poll():
+                    env = worker.handle.channel.recv(timeout=0.0)
+                    if env is None:
+                        break
+                    self._handle(worker, env, now)
+                    progressed = True
+            except ChannelClosed:
+                self._lose_worker(worker_id, now)
+                continue
+            if not worker.handle.is_alive():
+                self._lose_worker(worker_id, now)
+            elif now - worker.last_seen > self.config.lease_timeout:
+                self._lose_worker(worker_id, now)
+        return progressed
+
+    def _shutdown_fleet(self) -> None:
+        now = time.monotonic()  # simlint: disable=SL001 (worker-lifetime accounting, host time)
+        for worker_id, worker in sorted(self._workers.items()):
+            try:
+                worker.handle.channel.send(
+                    Envelope(kind=SHUTDOWN, sender=COORDINATOR))
+            except (ChannelClosed, OSError):
+                pass
+            self.stats.worker_lifetimes.setdefault(
+                worker_id, now - worker.handle.started)
+        for _worker_id, worker in sorted(self._workers.items()):
+            worker.handle.join(2.0)
+            worker.handle.kill()
+            worker.handle.channel.close()
+        self._workers.clear()
+
+
+# -- public entry point -----------------------------------------------------
+
+
+def execute_sweep_fabric(spec: ExperimentSpec,
+                         seeds: "Sequence[int] | int | None" = None,
+                         *,
+                         workers: "int | None" = None,
+                         transport: "str | None" = None,
+                         config: "FabricConfig | None" = None,
+                         cache_dir: "str | os.PathLike | None" = None,
+                         on_point: "Callable[[float, int], None] | None" = None,
+                         on_cell: "Callable[[int, int], None] | None" = None,
+                         obs_session: "obs.ObsSession | None" = None,
+                         ) -> "tuple[SweepResult, SweepTiming, FabricStats]":
+    """Run a sweep on the coordinator/worker fabric.
+
+    Drop-in sibling of :func:`~repro.experiments.executor.execute_sweep`:
+    the merged :class:`SweepResult` is **byte-identical** to the serial
+    reference for any worker count, transport, injected worker loss, or
+    cache state.  Returns ``(result, timing, stats)``; ``stats`` carries
+    the fabric's operational counters (leases, requeues, heartbeats,
+    worker lifetimes), which -- unlike the result -- legitimately vary
+    run to run.
+
+    ``on_cell(xi, si)`` fires after each newly computed cell has been
+    stored (the resumability hook: everything already fired is on disk).
+    """
+    from repro.experiments.executor import _normalize_seeds
+
+    if config is None:
+        config = FabricConfig()
+    if workers is not None:
+        config = replace(config, workers=workers)
+    if transport is not None:
+        config = replace(config, transport=transport)
+    seed_list = _normalize_seeds(spec, seeds)
+    instrument = obs_session is not None
+    cache = CellCache(cache_dir) if cache_dir is not None else None
+    started = time.perf_counter()  # simlint: disable=SL001 (perf record of the host run, not simulated time)
+
+    if on_point is not None:
+        for x in spec.x_values:
+            for seed in seed_list:
+                on_point(x, seed)
+
+    coordinator = Coordinator(spec, seed_list, config=config, cache=cache,
+                              instrument=instrument, on_cell=on_cell)
+    cells = coordinator.run()
+    result = merge_cells(spec, seed_list, cells)
+    if obs_session is not None:
+        fold_obs(obs_session, spec, seed_list, cells)
+        _fold_fabric_metrics(obs_session, coordinator.stats)
+
+    wall = time.perf_counter() - started  # simlint: disable=SL001 (perf record of the host run, not simulated time)
+    total = len(spec.x_values) * len(seed_list)
+    computed_keys = sorted(coordinator._cell_specs)
+    computed = [cells[key] for key in computed_keys]
+    timing = SweepTiming(
+        scenario=spec.name, jobs=config.workers, wall_time=wall,
+        cells_total=total, cells_computed=len(computed_keys),
+        cache_hits=total - len(computed_keys),
+        iterations=sum(cell.iterations for cell in computed),
+        engine_events=sum(cell.engine_events for cell in computed),
+        x_points=len(spec.x_values), seeds=len(seed_list),
+        mode="fabric")
+    return result, timing, coordinator.stats
+
+
+#: Worker-lifetime histogram buckets (seconds of host wall time).
+LIFETIME_BUCKETS = (0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0)
+
+
+def _fold_fabric_metrics(session: "obs.ObsSession", stats: FabricStats,
+                         ) -> None:
+    """Record the fabric's operational counters into the obs registry.
+
+    These are host-side, wall-clock-flavored metrics (``fabric.*``) --
+    deliberately separate from the deterministic simulation metrics, and
+    excluded from any byte-identity comparison.
+    """
+    metrics = session.metrics
+    metrics.counter("fabric.leases_total").inc(stats.leases)
+    metrics.counter("fabric.cells_requeued_total").inc(stats.requeued_cells)
+    metrics.counter("fabric.leases_revoked_total").inc(stats.revoked_leases)
+    metrics.counter("fabric.heartbeats_total").inc(stats.heartbeats)
+    metrics.counter("fabric.work_requests_total").inc(stats.work_requests)
+    metrics.counter("fabric.workers_started_total").inc(stats.workers_started)
+    metrics.counter("fabric.workers_lost_total").inc(stats.workers_lost)
+    metrics.counter("fabric.duplicate_results_total").inc(
+        stats.duplicate_results)
+    for worker_id in sorted(stats.worker_lifetimes):
+        metrics.histogram("fabric.worker_lifetime_seconds",
+                          LIFETIME_BUCKETS).observe(
+            stats.worker_lifetimes[worker_id])
