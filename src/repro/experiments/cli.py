@@ -73,6 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "written inside --outdir)")
     parser.add_argument("--no-bench", action="store_true",
                         help="do not write the perf record")
+    parser.add_argument("--runtime-telemetry", metavar="DIR", default=None,
+                        help="write the wall-clock runtime telemetry plane "
+                             "into DIR: span files, Chrome fleet timeline, "
+                             "metric snapshots, Prometheus textfile (see "
+                             "docs/OBSERVABILITY.md 'two planes'); never "
+                             "affects results or sim-time traces")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a live progress ticker (cells done, "
+                             "cache hits, active workers, stragglers, ETA) "
+                             "to stderr")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write a deterministic decision/event trace "
                              "of the run (see docs/OBSERVABILITY.md)")
@@ -172,7 +182,9 @@ def _execute(args, spec, session):
             raise SystemExit("--fabric-chaos needs --fabric")
         result, timing = execute_sweep(spec, seeds=args.seeds,
                                        jobs=args.jobs, cache_dir=cache_dir,
-                                       obs_session=session)
+                                       obs_session=session,
+                                       runtime_dir=args.runtime_telemetry,
+                                       progress=args.progress)
         return result, timing, None
     from repro.experiments.fabric import (FabricConfig, WorkerChaos,
                                           execute_sweep_fabric)
@@ -182,7 +194,9 @@ def _execute(args, spec, session):
     config = FabricConfig(workers=args.workers,
                           transport=args.fabric_transport, chaos=chaos)
     return execute_sweep_fabric(spec, seeds=args.seeds, config=config,
-                                cache_dir=cache_dir, obs_session=session)
+                                cache_dir=cache_dir, obs_session=session,
+                                runtime_dir=args.runtime_telemetry,
+                                progress=args.progress)
 
 
 def _make_session(args):
@@ -234,7 +248,12 @@ def regenerate_all(args) -> int:
     outdir.mkdir(parents=True, exist_ok=True)
     bench_path = outdir / "BENCH_sweeps.json"
     session = _make_session(args)
+    runtime_base = args.runtime_telemetry
     for name, spec in sorted(ALL_SCENARIOS.items()):
+        if runtime_base is not None:
+            # One run directory per scenario: span files, timeline, and
+            # progress.json are per-run artifacts.
+            args.runtime_telemetry = str(Path(runtime_base) / name)
         result, timing, _fabric_stats = _execute(args, spec, session)
         baseline = "nothing" if "nothing" in result.series else None
         (outdir / f"{name}.txt").write_text(

@@ -146,6 +146,22 @@ def compute_cell(spec: ExperimentSpec, x: float, seed: int, *,
                                if session is not None else {}))
 
 
+def compute_cell_timed(spec: ExperimentSpec, x: float, seed: int, *,
+                       instrument: bool = False,
+                       ) -> "tuple[CellResult, float]":
+    """:func:`compute_cell` plus its wall-clock compute time in seconds.
+
+    The wall time is measured *inside* the computing process (pool
+    worker or fabric worker), feeds the per-cell percentile columns of
+    :class:`SweepTiming` and the runtime telemetry plane
+    (:mod:`repro.obs.runtime`), and never touches the deterministic
+    :class:`CellResult` itself.
+    """
+    started = time.perf_counter()  # simlint: disable=SL001 (runtime-plane wall time, never simulated)
+    cell = compute_cell(spec, x, seed, instrument=instrument)
+    return cell, time.perf_counter() - started  # simlint: disable=SL001 (runtime-plane wall time, never simulated)
+
+
 # -- content addressing -----------------------------------------------------
 
 
@@ -178,13 +194,28 @@ class CellCache:
     a cache miss, not a wrong answer.
     """
 
-    def __init__(self, root: "str | os.PathLike") -> None:
+    def __init__(self, root: "str | os.PathLike", *,
+                 telemetry=None) -> None:
         self.root = Path(root)
+        #: Optional :class:`repro.obs.runtime.RunTelemetry`; when set,
+        #: every load/store is logged as a wall-clock ``cache.*`` span.
+        #: Telemetry never changes what the cache returns.
+        self.telemetry = telemetry
 
     def path_for(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"
 
     def load(self, digest: str) -> "CellResult | None":
+        if self.telemetry is None:
+            return self._load(digest)
+        started = self.telemetry.now()
+        cell = self._load(digest)
+        self.telemetry.event("cache.load", t=started,
+                             dur=self.telemetry.now() - started,
+                             digest=digest[:12], hit=cell is not None)
+        return cell
+
+    def _load(self, digest: str) -> "CellResult | None":
         try:
             payload = json.loads(self.path_for(digest).read_text())
         except (OSError, ValueError):
@@ -200,6 +231,15 @@ class CellCache:
     def store(self, digest: str, cell: CellResult, *, scenario: str,
               x: float, seed: int) -> None:
         """Persist one cell atomically (temp file + rename)."""
+        if self.telemetry is None:
+            self._store(digest, cell, scenario=scenario, x=x, seed=seed)
+            return
+        with self.telemetry.span("cache.store", digest=digest[:12],
+                                 x=x, seed=seed):
+            self._store(digest, cell, scenario=scenario, x=x, seed=seed)
+
+    def _store(self, digest: str, cell: CellResult, *, scenario: str,
+               x: float, seed: int) -> None:
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"format": CACHE_FORMAT, "digest": digest,
@@ -234,6 +274,11 @@ class SweepTiming:
     mode: str = "pool"
     """Execution backend: ``"pool"`` (in-process / ProcessPoolExecutor)
     or ``"fabric"`` (coordinator + workers, :mod:`.fabric`)."""
+    cell_wall_p50: float = 0.0
+    """Median wall seconds per *computed* cell (0.0 when every cell was
+    a cache hit).  Measured inside the computing process."""
+    cell_wall_p95: float = 0.0
+    cell_wall_max: float = 0.0
 
     @property
     def cells_per_sec(self) -> float:
@@ -264,6 +309,9 @@ class SweepTiming:
             "cells_per_sec": self.cells_per_sec,
             "events_per_sec": self.events_per_sec,
             "iterations_per_sec": self.iterations_per_sec,
+            "cell_wall_p50_s": self.cell_wall_p50,
+            "cell_wall_p95_s": self.cell_wall_p95,
+            "cell_wall_max_s": self.cell_wall_max,
         }
 
 
@@ -277,7 +325,10 @@ def append_bench_record(path: "str | os.PathLike",
 
     Records are keyed by ``(scenario, mode, jobs)``; the latest run wins,
     and the file stays sorted so diffs across commits read as a
-    trajectory.  The write is atomic (temp file + ``os.replace``, the
+    trajectory.  Document version 4 added the per-cell wall-time
+    percentile columns (``cell_wall_p50_s``/``p95``/``max``); legacy
+    version-2/3 records still parse (they simply lack those keys, and
+    pre-version-3 records default to mode ``"pool"``).  The write is atomic (temp file + ``os.replace``, the
     cell cache's pattern), so a reader -- or a concurrent sweep
     invocation -- never observes a half-written file; an existing file
     that fails to parse is preserved next to the new one (``.corrupt``
@@ -302,7 +353,7 @@ def append_bench_record(path: "str | os.PathLike",
             records = {}
     record = timing.to_dict()
     records[(record["scenario"], record["mode"], record["jobs"])] = record
-    doc = {"version": 3, "tool": "sweep-bench",
+    doc = {"version": 4, "tool": "sweep-bench",
            "records": [records[key] for key in sorted(records)]}
     path.parent.mkdir(parents=True, exist_ok=True)
     # Unique per process *and* per call: concurrent appenders (processes
@@ -437,6 +488,8 @@ def execute_sweep(spec: ExperimentSpec,
                   cache_dir: "str | os.PathLike | None" = None,
                   on_point: "Callable[[float, int], None] | None" = None,
                   obs_session: "obs.ObsSession | None" = None,
+                  runtime_dir: "str | os.PathLike | None" = None,
+                  progress: bool = False,
                   ) -> "tuple[SweepResult, SweepTiming]":
     """Run a sweep over its ``(x, seed)`` cells and merge deterministically.
 
@@ -464,6 +517,15 @@ def execute_sweep(spec: ExperimentSpec,
         instrumented and its trace records / metrics are folded into the
         session **in grid order**, so the merged trace and registry are
         byte-identical for any ``jobs`` / cache configuration.
+    runtime_dir:
+        Run directory for the *runtime* telemetry plane
+        (:mod:`repro.obs.runtime`): wall-clock span log, metrics
+        snapshots, progress file, and the derived Chrome timeline /
+        Prometheus exports.  None (the default) records nothing.  The
+        deterministic outputs above are byte-identical either way.
+    progress:
+        Print a live progress ticker (cells done/total, cache hits,
+        ETA) to stderr while the sweep runs.
 
     Returns
     -------
@@ -471,63 +533,100 @@ def execute_sweep(spec: ExperimentSpec,
         The merged sweep result -- bit-identical to the serial run for
         any ``jobs`` / cache state -- and its performance record.
     """
+    from repro.obs.runtime import RunTelemetry, wall_stats
+
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
     seed_list = _normalize_seeds(spec, seeds)
     instrument = obs_session is not None
+    cells_total = len(spec.x_values) * len(seed_list)
+    telemetry = RunTelemetry.create(runtime_dir, progress=progress,
+                                    role="executor",
+                                    total_cells=cells_total)
     started = time.perf_counter()  # simlint: disable=SL001 (perf record of the host run, not simulated time)
 
-    cache = CellCache(cache_dir) if cache_dir is not None else None
-    cells, pending = plan_cells(spec, seed_list, cache,
-                                instrument=instrument, on_point=on_point)
-    cells_total = len(spec.x_values) * len(seed_list)
+    try:
+        cache = (CellCache(cache_dir, telemetry=telemetry)
+                 if cache_dir is not None else None)
+        cells, pending = plan_cells(spec, seed_list, cache,
+                                    instrument=instrument, on_point=on_point)
+        walls: "list[float]" = []
+        pool_workers = min(jobs, len(pending)) if pending else 0
+        if telemetry is not None:
+            telemetry.progress.cache_hits = cells_total - len(pending)
+            telemetry.event("run.start", scenario=spec.name, jobs=jobs,
+                            cells_total=cells_total, pending=len(pending),
+                            cache_hits=cells_total - len(pending))
+            telemetry.tick(len(cells), force=True)
 
-    if pending and jobs == 1:
-        for xi, si, x, seed, digest in pending:
-            try:
-                cell = compute_cell(spec, x, seed, instrument=instrument)
-            except Exception as exc:
-                raise cell_failure(spec, x, seed, exc) from exc
+        def _arrived(xi, si, x, seed, digest, cell, wall):
+            walls.append(wall)
             cells[(xi, si)] = cell
+            if telemetry is not None:
+                telemetry.event("cell.compute", t=telemetry.now() - wall,
+                                dur=wall, xi=xi, si=si, x=x, seed=seed)
             if cache is not None:
                 cache.store(digest, cell, scenario=spec.name, x=x, seed=seed)
-    elif pending:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(compute_cell, spec, x, seed,
-                            instrument=instrument): (xi, si, x, seed, digest)
-                for xi, si, x, seed, digest in pending}
-            try:
-                for future in as_completed(futures):
-                    xi, si, x, seed, digest = futures[future]
-                    try:
-                        cell = future.result()
-                    except Exception as exc:
-                        raise cell_failure(spec, x, seed, exc) from exc
-                    cells[(xi, si)] = cell
-                    if cache is not None:
-                        cache.store(digest, cell, scenario=spec.name, x=x,
-                                    seed=seed)
-            except BaseException:
-                # One cell failed (or the caller interrupted): cancel
-                # everything not yet started and drain the cells already
-                # running, so no orphaned worker outlives the sweep and
-                # the raised error is the first failure, not a pile-up.
-                for other in futures:
-                    other.cancel()
-                pool.shutdown(wait=True, cancel_futures=True)
-                raise
+            if telemetry is not None:
+                telemetry.tick(len(cells), active_workers=pool_workers)
 
-    result = merge_cells(spec, seed_list, cells)
-    if obs_session is not None:
-        fold_obs(obs_session, spec, seed_list, cells)
+        if pending and jobs == 1:
+            for xi, si, x, seed, digest in pending:
+                try:
+                    cell, wall = compute_cell_timed(spec, x, seed,
+                                                    instrument=instrument)
+                except Exception as exc:
+                    raise cell_failure(spec, x, seed, exc) from exc
+                _arrived(xi, si, x, seed, digest, cell, wall)
+        elif pending:
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(pending))) as pool:
+                futures = {
+                    pool.submit(compute_cell_timed, spec, x, seed,
+                                instrument=instrument):
+                        (xi, si, x, seed, digest)
+                    for xi, si, x, seed, digest in pending}
+                try:
+                    for future in as_completed(futures):
+                        xi, si, x, seed, digest = futures[future]
+                        try:
+                            cell, wall = future.result()
+                        except Exception as exc:
+                            raise cell_failure(spec, x, seed, exc) from exc
+                        _arrived(xi, si, x, seed, digest, cell, wall)
+                except BaseException:
+                    # One cell failed (or the caller interrupted): cancel
+                    # everything not yet started and drain the cells already
+                    # running, so no orphaned worker outlives the sweep and
+                    # the raised error is the first failure, not a pile-up.
+                    for other in futures:
+                        other.cancel()
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    raise
+
+        result = merge_cells(spec, seed_list, cells)
+        if obs_session is not None:
+            fold_obs(obs_session, spec, seed_list, cells)
+    except BaseException:
+        if telemetry is not None:
+            telemetry.finalize(state="failed")
+        raise
     wall = time.perf_counter() - started  # simlint: disable=SL001 (perf record of the host run, not simulated time)
     computed = [cells[(xi, si)] for xi, si, _x, _seed, _d in pending]
+    stats = wall_stats(walls)
     timing = SweepTiming(
         scenario=spec.name, jobs=jobs, wall_time=wall,
         cells_total=cells_total, cells_computed=len(pending),
         cache_hits=cells_total - len(pending),
         iterations=sum(cell.iterations for cell in computed),
         engine_events=sum(cell.engine_events for cell in computed),
-        x_points=len(spec.x_values), seeds=len(seed_list))
+        x_points=len(spec.x_values), seeds=len(seed_list),
+        cell_wall_p50=stats["p50"], cell_wall_p95=stats["p95"],
+        cell_wall_max=stats["max"])
+    if telemetry is not None:
+        telemetry.metrics.counter("runtime.cells_computed_total").inc(
+            len(pending))
+        telemetry.metrics.counter("runtime.cache_hits_total").inc(
+            cells_total - len(pending))
+        telemetry.finalize(done=len(cells))
     return result, timing

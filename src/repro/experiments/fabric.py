@@ -68,6 +68,8 @@ from repro.experiments.executor import (CellCache, CellResult, SweepTiming,
                                         merge_cells, plan_cells)
 from repro.experiments.runner import SweepResult
 from repro.experiments.scenarios import ExperimentSpec
+from repro.obs.runtime import (HEARTBEAT_BUCKETS, RunTelemetry,
+                               RuntimeRecorder, wall_stats)
 
 #: Version stamped into every envelope; receivers reject mismatches
 #: instead of guessing, so mixed-version fleets fail loudly.
@@ -409,6 +411,10 @@ class WorkerConfig:
     """Thread transport only: hold the module compute lock around
     :func:`compute_cell` (ambient obs/session state is per-process)."""
     chaos: "WorkerChaos | None" = None
+    runtime_dir: "str | None" = None
+    """Run directory of the runtime telemetry plane
+    (:mod:`repro.obs.runtime`), or None for no telemetry.  The worker
+    appends wall-clock spans to its own ``spans-worker-<id>.jsonl``."""
 
 
 #: Guards compute_cell for thread-transport workers (see module doc).
@@ -419,12 +425,19 @@ class _ChaosTriggered(Exception):
     """Internal: the injected fault fired; unwind the worker loop."""
 
 
-def _apply_chaos(config: WorkerConfig, cells_done: int) -> None:
+def _apply_chaos(config: WorkerConfig, cells_done: int,
+                 recorder: "RuntimeRecorder | None" = None) -> None:
     chaos = config.chaos
     if chaos is None or chaos.worker != config.worker_id:
         return
     if cells_done < chaos.after_cells:
         return
+    if recorder is not None:
+        # The last thing a chaos-stricken worker says -- to the telemetry
+        # plane, never to the coordinator (that's the point of chaos).
+        recorder.event("chaos.injected", mode=chaos.mode,
+                       after_cells=chaos.after_cells)
+        recorder.close()
     if chaos.mode == "kill":
         os.kill(os.getpid(), signal.SIGKILL)  # never returns
     if chaos.mode == "hang":
@@ -441,14 +454,32 @@ def worker_main(channel, spec: ExperimentSpec, instrument: bool,
     ``CELL_RESULT`` per cell (success or failure -- a failing cell is
     reported with its coordinates, not swallowed), heartbeat between
     cells, and repeat until ``SHUTDOWN``.
+
+    Every result carries ``wall_s`` -- the wall-clock seconds the cell
+    took *in this worker* -- feeding the coordinator's per-cell wall
+    percentiles.  With :attr:`WorkerConfig.runtime_dir` set the worker
+    additionally appends ``cell.compute`` / ``cell.serialize`` spans and
+    lifecycle events to its own runtime span file; none of this is ever
+    visible to the deterministic sim-time plane.
     """
     me = config.worker_id
+    recorder: "RuntimeRecorder | None" = None
+    if config.runtime_dir is not None:
+        try:
+            recorder = RuntimeRecorder.for_worker(config.runtime_dir, me)
+        except OSError:  # telemetry must never take a worker down
+            recorder = None
 
     def send(kind: str, **payload) -> None:
         channel.send(Envelope(kind=kind, sender=me, payload=payload))
 
+    def log(kind: str, **fields) -> None:
+        if recorder is not None:
+            recorder.event(kind, **fields)
+
     cells_done = 0
     try:
+        log("worker.start")
         send(REQUEST_WORK)
         while True:
             env = channel.recv(timeout=1.0)
@@ -456,6 +487,7 @@ def worker_main(channel, spec: ExperimentSpec, instrument: bool,
                 send(HEARTBEAT, cells_done=cells_done)
                 continue
             if env.kind == SHUTDOWN:
+                log("worker.shutdown", cells_done=cells_done)
                 return
             if env.kind == DRAIN:
                 time.sleep(config.drain_pause)
@@ -465,9 +497,12 @@ def worker_main(channel, spec: ExperimentSpec, instrument: bool,
                 raise FabricError(
                     f"worker {me} got unexpected {env.kind}")
             lease_id = env.payload["lease"]
+            log("lease.recv", lease=lease_id,
+                cells=len(env.payload["cells"]))
             for cell in env.payload["cells"]:
-                _apply_chaos(config, cells_done)
+                _apply_chaos(config, cells_done, recorder)
                 x, seed = cell["x"], cell["seed"]
+                compute_started = time.monotonic()  # simlint: disable=SL001 (runtime-plane wall time, never simulated)
                 try:
                     if config.serialize_compute:
                         with _COMPUTE_LOCK:
@@ -480,16 +515,28 @@ def worker_main(channel, spec: ExperimentSpec, instrument: bool,
                     send(CELL_RESULT, lease=lease_id, xi=cell["xi"],
                          si=cell["si"], x=x, seed=seed, ok=False,
                          error=f"{type(exc).__name__}: {exc}")
+                    log("cell.failed", lease=lease_id, xi=cell["xi"],
+                        si=cell["si"], error=type(exc).__name__)
                     continue
+                wall = time.monotonic() - compute_started  # simlint: disable=SL001 (runtime-plane wall time, never simulated)
                 cells_done += 1
+                log("cell.compute", t=compute_started, dur=wall,
+                    xi=cell["xi"], si=cell["si"], x=x, seed=seed)
+                serialize_started = time.monotonic()  # simlint: disable=SL001 (runtime-plane wall time, never simulated)
                 send(CELL_RESULT, lease=lease_id, xi=cell["xi"],
                      si=cell["si"], x=x, seed=seed, ok=True,
-                     cell=result.to_payload())
+                     cell=result.to_payload(), wall_s=wall)
+                log("cell.serialize", t=serialize_started,
+                    dur=time.monotonic() - serialize_started,  # simlint: disable=SL001 (runtime-plane wall time, never simulated)
+                    xi=cell["xi"], si=cell["si"])
                 send(HEARTBEAT, cells_done=cells_done)
             send(REQUEST_WORK)
     except (ChannelClosed, _ChaosTriggered):
+        log("worker.channel_closed", cells_done=cells_done)
         return  # coordinator died or chaos fired: just vanish
     finally:
+        if recorder is not None:
+            recorder.close()
         channel.close()
 
 
@@ -659,16 +706,25 @@ class Coordinator:
     def __init__(self, spec: ExperimentSpec, seed_list: "list[int]", *,
                  config: FabricConfig, cache: "CellCache | None",
                  instrument: bool,
-                 on_cell: "Callable[[int, int], None] | None" = None) -> None:
+                 on_cell: "Callable[[int, int], None] | None" = None,
+                 telemetry: "RunTelemetry | None" = None,
+                 clock: "Callable[[], float]" = time.monotonic) -> None:
         self.spec = spec
         self.seed_list = seed_list
         self.config = config
         self.cache = cache
         self.instrument = instrument
         self.on_cell = on_cell
+        self.telemetry = telemetry
+        #: The liveness/lease clock.  ``time.monotonic`` in production;
+        #: boundary-timing tests inject a fake monotonic clock here.
+        self._clock = clock
         self.stats = FabricStats(transport=config.transport,
                                  workers=config.workers)
         self.cells: "dict[tuple[int, int], CellResult]" = {}
+        #: Wall seconds per computed cell, as reported by the worker
+        #: that computed it (first result wins, like the cell itself).
+        self.cell_walls: "list[float]" = []
         #: Grid-order queue of cells still to assign.
         self.queue: "deque[dict]" = deque()
         #: Cell coordinates -> full cell record (for requeuing).
@@ -685,25 +741,53 @@ class Coordinator:
     def _launch_worker(self) -> None:
         worker_id = f"w{self._next_worker}"
         self._next_worker += 1
+        runtime_dir = None
+        if self.telemetry is not None and self.telemetry.run_dir is not None:
+            runtime_dir = str(self.telemetry.run_dir)
         config = WorkerConfig(worker_id=worker_id,
                               drain_pause=self.config.drain_pause,
-                              chaos=self.config.chaos)
-        handle = self._transport.launch(self.spec, self.instrument, config)
+                              chaos=self.config.chaos,
+                              runtime_dir=runtime_dir)
+        with self._tel_span("worker.launch", worker_id=worker_id):
+            handle = self._transport.launch(self.spec, self.instrument,
+                                            config)
         self._workers[worker_id] = _Worker(handle=handle,
                                            last_seen=handle.started)
         self.stats.workers_started += 1
+        self._tel_count("runtime.workers_started_total")
 
-    def _lose_worker(self, worker_id: str, now: float) -> None:
+    def _record_lifetime(self, worker_id: str, handle: WorkerHandle,
+                         now: float) -> None:
+        """Record the worker's *final* lifetime, exactly once.
+
+        A plain assignment, deliberately: the old ``setdefault`` on the
+        shutdown path could freeze a stale lifetime recorded when the
+        same worker id was revoked earlier, so whichever of loss or
+        shutdown happens last for an id is the one that counts.  Loss
+        pops the worker from the registry, so each path runs at most
+        once per id and the recorded value is always the final one.
+        """
+        self.stats.worker_lifetimes[worker_id] = now - handle.started
+
+    def _lose_worker(self, worker_id: str, now: float,
+                     reason: str = "lost") -> None:
         """Revoke the worker's lease, requeue its cells, drop the worker."""
         worker = self._workers.pop(worker_id)
         self.stats.workers_lost += 1
-        self.stats.worker_lifetimes[worker_id] = now - worker.handle.started
+        self._record_lifetime(worker_id, worker.handle, now)
+        self._tel_event("worker.exit", worker_id=worker_id, reason=reason,
+                        lifetime_s=now - worker.handle.started)
+        self._tel_count("runtime.workers_lost_total")
         if worker.lease is not None:
             self.stats.revoked_leases += 1
+            requeued = 0
             for key in sorted(worker.lease.outstanding):
                 if key not in self.cells:
                     self.queue.append(self._cell_specs[key])
                     self.stats.requeued_cells += 1
+                    requeued += 1
+            self._tel_event("lease.revoked", worker_id=worker_id,
+                            lease=worker.lease.lease_id, requeued=requeued)
         worker.handle.kill()
         worker.handle.channel.close()
         incomplete = len(self.cells) < len(self._cell_specs)
@@ -718,6 +802,22 @@ class Coordinator:
                     f"is spent with "
                     f"{len(self._cell_specs) - len(self.cells)} cells "
                     f"incomplete")
+
+    # -- runtime telemetry (no-ops when the plane is off) -------------------
+
+    def _tel_event(self, kind: str, **fields) -> None:
+        if self.telemetry is not None:
+            self.telemetry.event(kind, **fields)
+
+    def _tel_span(self, kind: str, **fields):
+        if self.telemetry is not None:
+            return self.telemetry.span(kind, **fields)
+        from repro.obs.runtime import _NullSpan
+        return _NullSpan()
+
+    def _tel_count(self, name: str, amount: float = 1.0) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(name).inc(amount)
 
     # -- message handling ---------------------------------------------------
 
@@ -738,6 +838,10 @@ class Coordinator:
         self._next_lease += 1
         worker.lease = lease
         self.stats.leases += 1
+        self._tel_event("lease.assign", lease=lease.lease_id,
+                        worker_id=worker.handle.worker_id,
+                        cells=len(batch))
+        self._tel_count("runtime.leases_total")
         worker.handle.channel.send(Envelope(
             kind=ASSIGN_CELLS, sender=COORDINATOR,
             payload={"lease": lease.lease_id, "cells": batch}))
@@ -758,9 +862,16 @@ class Coordinator:
                 worker.lease = None
         if key in self.cells:
             self.stats.duplicate_results += 1
+            self._tel_event("cell.duplicate", xi=key[0], si=key[1],
+                            worker_id=env.sender)
             return  # deterministic recompute of a re-leased cell
         cell = CellResult.from_payload(payload["cell"])
         self.cells[key] = cell
+        wall = payload.get("wall_s")
+        if isinstance(wall, (int, float)):
+            self.cell_walls.append(float(wall))
+        self._tel_event("cell.result", xi=key[0], si=key[1],
+                        worker_id=env.sender, wall_s=wall)
         if self.cache is not None:
             digest = self._cell_specs[key]["digest"]
             self.cache.store(digest, cell, scenario=self.spec.name,
@@ -769,6 +880,7 @@ class Coordinator:
             self.on_cell(*key)
 
     def _handle(self, worker: _Worker, env: Envelope, now: float) -> None:
+        silent_for = now - worker.last_seen
         worker.last_seen = now
         if env.kind == REQUEST_WORK:
             self.stats.work_requests += 1
@@ -779,6 +891,15 @@ class Coordinator:
                     Envelope(kind=DRAIN, sender=COORDINATOR))
         elif env.kind == HEARTBEAT:
             self.stats.heartbeats += 1
+            # Heartbeat latency: how long this worker had been silent
+            # when the beat landed -- the lease-expiry clock's margin.
+            self._tel_event("heartbeat", worker_id=env.sender,
+                            latency_s=silent_for,
+                            cells_done=env.payload.get("cells_done"))
+            if self.telemetry is not None:
+                self.telemetry.metrics.histogram(
+                    "runtime.heartbeat_latency_seconds",
+                    HEARTBEAT_BUCKETS).observe(silent_for)
         elif env.kind == CELL_RESULT:
             self._on_result(worker, env)
         else:
@@ -798,6 +919,12 @@ class Coordinator:
             self.queue.append(record)
             self._cell_specs[(xi, si)] = record
         total = len(self.spec.x_values) * len(self.seed_list)
+        if self.telemetry is not None:
+            self.telemetry.progress.cache_hits = len(self.cells)
+            self._tel_event("run.start", total=total,
+                            pending=len(pending), cache_hits=len(self.cells))
+            self.telemetry.tick(len(self.cells), active_workers=0,
+                                stragglers=0, force=True)
         if len(self.cells) >= total:
             return self.cells  # fully warm cache: no fleet needed
 
@@ -815,11 +942,18 @@ class Coordinator:
             self._shutdown_fleet()
             self._transport.close()
 
+    def _stragglers(self, now: float) -> int:
+        """Workers silent for more than a quarter of the lease timeout --
+        not yet revocable, but visibly behind the fleet's cadence."""
+        cutoff = self.config.lease_timeout / 4.0
+        return sum(1 for worker in self._workers.values()
+                   if now - worker.last_seen > cutoff)
+
     def _drive(self) -> bool:
         """One poll round: pump messages, expire leases.  True if any
         message was handled (the caller sleeps otherwise)."""
         progressed = False
-        now = time.monotonic()  # simlint: disable=SL001 (lease/liveness clock, host time)
+        now = self._clock()
         for worker_id in list(self._workers):
             worker = self._workers.get(worker_id)
             if worker is None:
@@ -832,24 +966,33 @@ class Coordinator:
                     self._handle(worker, env, now)
                     progressed = True
             except ChannelClosed:
-                self._lose_worker(worker_id, now)
+                self._lose_worker(worker_id, now, reason="channel-closed")
                 continue
             if not worker.handle.is_alive():
-                self._lose_worker(worker_id, now)
+                self._lose_worker(worker_id, now, reason="dead")
             elif now - worker.last_seen > self.config.lease_timeout:
-                self._lose_worker(worker_id, now)
+                self._tel_event("lease.expired", worker_id=worker_id,
+                                silent_for=now - worker.last_seen,
+                                timeout=self.config.lease_timeout)
+                self._lose_worker(worker_id, now, reason="lease-expired")
+        if self.telemetry is not None:
+            self.telemetry.tick(len(self.cells),
+                                active_workers=len(self._workers),
+                                stragglers=self._stragglers(now))
         return progressed
 
     def _shutdown_fleet(self) -> None:
-        now = time.monotonic()  # simlint: disable=SL001 (worker-lifetime accounting, host time)
+        now = self._clock()
         for worker_id, worker in sorted(self._workers.items()):
             try:
                 worker.handle.channel.send(
                     Envelope(kind=SHUTDOWN, sender=COORDINATOR))
             except (ChannelClosed, OSError):
                 pass
-            self.stats.worker_lifetimes.setdefault(
-                worker_id, now - worker.handle.started)
+            self._record_lifetime(worker_id, worker.handle, now)
+            self._tel_event("worker.exit", worker_id=worker_id,
+                            reason="shutdown",
+                            lifetime_s=now - worker.handle.started)
         for _worker_id, worker in sorted(self._workers.items()):
             worker.handle.join(2.0)
             worker.handle.kill()
@@ -870,6 +1013,9 @@ def execute_sweep_fabric(spec: ExperimentSpec,
                          on_point: "Callable[[float, int], None] | None" = None,
                          on_cell: "Callable[[int, int], None] | None" = None,
                          obs_session: "obs.ObsSession | None" = None,
+                         runtime_dir: "str | os.PathLike | None" = None,
+                         progress: bool = False,
+                         progress_stream=None,
                          ) -> "tuple[SweepResult, SweepTiming, FabricStats]":
     """Run a sweep on the coordinator/worker fabric.
 
@@ -883,6 +1029,12 @@ def execute_sweep_fabric(spec: ExperimentSpec,
 
     ``on_cell(xi, si)`` fires after each newly computed cell has been
     stored (the resumability hook: everything already fired is on disk).
+
+    ``runtime_dir`` switches on the wall-clock telemetry plane
+    (:mod:`repro.obs.runtime`): coordinator and worker span files, the
+    Chrome fleet timeline, periodic metric snapshots, and a Prometheus
+    textfile land there.  ``progress`` prints a live ticker.  Neither
+    affects the deterministic result, traces, or metrics in any way.
     """
     from repro.experiments.executor import _normalize_seeds
 
@@ -894,7 +1046,12 @@ def execute_sweep_fabric(spec: ExperimentSpec,
         config = replace(config, transport=transport)
     seed_list = _normalize_seeds(spec, seeds)
     instrument = obs_session is not None
-    cache = CellCache(cache_dir) if cache_dir is not None else None
+    total = len(spec.x_values) * len(seed_list)
+    telemetry = RunTelemetry.create(runtime_dir, progress=progress,
+                                    total_cells=total,
+                                    progress_stream=progress_stream)
+    cache = (CellCache(cache_dir, telemetry=telemetry)
+             if cache_dir is not None else None)
     started = time.perf_counter()  # simlint: disable=SL001 (perf record of the host run, not simulated time)
 
     if on_point is not None:
@@ -903,17 +1060,23 @@ def execute_sweep_fabric(spec: ExperimentSpec,
                 on_point(x, seed)
 
     coordinator = Coordinator(spec, seed_list, config=config, cache=cache,
-                              instrument=instrument, on_cell=on_cell)
-    cells = coordinator.run()
+                              instrument=instrument, on_cell=on_cell,
+                              telemetry=telemetry)
+    try:
+        cells = coordinator.run()
+    except BaseException:
+        if telemetry is not None:
+            telemetry.finalize(state="failed")
+        raise
     result = merge_cells(spec, seed_list, cells)
     if obs_session is not None:
         fold_obs(obs_session, spec, seed_list, cells)
         _fold_fabric_metrics(obs_session, coordinator.stats)
 
     wall = time.perf_counter() - started  # simlint: disable=SL001 (perf record of the host run, not simulated time)
-    total = len(spec.x_values) * len(seed_list)
     computed_keys = sorted(coordinator._cell_specs)
     computed = [cells[key] for key in computed_keys]
+    walls = wall_stats(coordinator.cell_walls)
     timing = SweepTiming(
         scenario=spec.name, jobs=config.workers, wall_time=wall,
         cells_total=total, cells_computed=len(computed_keys),
@@ -921,7 +1084,21 @@ def execute_sweep_fabric(spec: ExperimentSpec,
         iterations=sum(cell.iterations for cell in computed),
         engine_events=sum(cell.engine_events for cell in computed),
         x_points=len(spec.x_values), seeds=len(seed_list),
-        mode="fabric")
+        mode="fabric", cell_wall_p50=walls["p50"],
+        cell_wall_p95=walls["p95"], cell_wall_max=walls["max"])
+    if telemetry is not None:
+        metrics = telemetry.metrics
+        metrics.counter("runtime.cells_computed_total").inc(
+            len(computed_keys))
+        metrics.counter("runtime.cache_hits_total").inc(
+            total - len(computed_keys))
+        metrics.counter("runtime.cells_requeued_total").inc(
+            coordinator.stats.requeued_cells)
+        metrics.counter("runtime.duplicate_results_total").inc(
+            coordinator.stats.duplicate_results)
+        metrics.counter("runtime.heartbeats_total").inc(
+            coordinator.stats.heartbeats)
+        telemetry.finalize(done=len(cells))
     return result, timing, coordinator.stats
 
 

@@ -43,14 +43,19 @@ from repro.obs.analyze import (TRACE_RULES, LintFinding, TraceSet, analyze,
 from repro.obs.hooks import SimHooks, TraceHooks
 from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
 from repro.obs.report import write_report
+from repro.obs.runtime import (ProgressTicker, RunTelemetry, RuntimeRecorder,
+                               SpanSet, fleet_timeline, prometheus_text,
+                               wall_stats, wall_summary)
 from repro.obs.trace import TraceRecorder, jsonable
 
 __all__ = [
     "DEFAULT_BUCKETS", "LintFinding", "MetricsRegistry", "ObsSession",
-    "PAYBACK_BUCKETS", "SimHooks", "TRACE_RULES", "TraceHooks",
-    "TraceRecorder", "TraceSet", "active", "analyze", "count", "emit",
-    "emit_check", "emit_decision", "emitted_total", "gauge", "jsonable",
-    "kernel_hooks", "lint", "observe_value", "observing", "write_report",
+    "PAYBACK_BUCKETS", "ProgressTicker", "RunTelemetry", "RuntimeRecorder",
+    "SimHooks", "SpanSet", "TRACE_RULES", "TraceHooks", "TraceRecorder",
+    "TraceSet", "active", "analyze", "count", "emit", "emit_check",
+    "emit_decision", "emitted_total", "fleet_timeline", "gauge", "jsonable",
+    "kernel_hooks", "lint", "observe_value", "observing", "prometheus_text",
+    "wall_stats", "wall_summary", "write_report",
 ]
 
 #: Bucket bounds for payback-distance histograms (iterations; the

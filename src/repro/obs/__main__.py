@@ -12,6 +12,23 @@ Commands
 ``summary TRACE``
     One-screen text summary (record kinds, cells, decision outcomes).
 
+Runtime-plane commands (wall-clock telemetry; see
+docs/OBSERVABILITY.md, "two planes"):
+
+``timeline RUN_DIR [--out PATH]``
+    Render the run's span files as a Chrome trace-event fleet timeline
+    (one track per worker plus the coordinator track); open it in
+    chrome://tracing or ui.perfetto.dev.
+``runtime-metrics RUN_DIR [--out PATH]``
+    Export the latest runtime metrics snapshot as a Prometheus-style
+    textfile (for node_exporter's textfile collector).
+``runtime-summary RUN_DIR``
+    One-screen summary of the runtime plane: record kinds and per-kind
+    wall-time percentiles.
+``tail RUN_DIR [--follow]``
+    Print the run's live progress line from ``progress.json``;
+    ``--follow`` keeps polling until the run reaches a terminal state.
+
 Examples::
 
     python -m repro.experiments fig7 --seeds 2 --trace fig7.jsonl \\
@@ -19,6 +36,8 @@ Examples::
     python -m repro.obs report fig7.jsonl --metrics fig7-metrics.json \\
         --out fig7-report
     python -m repro.obs lint fig7.jsonl --metrics fig7-metrics.json
+    python -m repro.experiments fig7 --fabric --runtime-telemetry rt/
+    python -m repro.obs timeline rt/ && python -m repro.obs tail rt/
 """
 
 from __future__ import annotations
@@ -59,7 +78,79 @@ def build_parser() -> argparse.ArgumentParser:
 
     rules = sub.add_parser("rules", help="list the TL invariant codes")
     del rules
+
+    timeline = sub.add_parser(
+        "timeline", help="export the Chrome fleet timeline of a "
+                         "runtime-telemetry run directory")
+    timeline.add_argument("run_dir", help="--runtime-telemetry directory")
+    timeline.add_argument("--out", metavar="PATH", default=None,
+                          help="output file (default: "
+                               "RUN_DIR/timeline.trace.json)")
+
+    rt_metrics = sub.add_parser(
+        "runtime-metrics", help="export the latest runtime metrics "
+                                "snapshot as a Prometheus textfile")
+    rt_metrics.add_argument("run_dir")
+    rt_metrics.add_argument("--out", metavar="PATH", default=None,
+                            help="output file (default: "
+                                 "RUN_DIR/metrics.prom)")
+
+    rt_summary = sub.add_parser(
+        "runtime-summary", help="summarize a run's wall-clock spans")
+    rt_summary.add_argument("run_dir")
+
+    tail = sub.add_parser(
+        "tail", help="print (and optionally follow) a run's live progress")
+    tail.add_argument("run_dir")
+    tail.add_argument("--follow", action="store_true",
+                      help="keep polling until the run finishes")
+    tail.add_argument("--interval", type=float, default=0.5,
+                      help="polling interval in seconds (default: 0.5)")
     return parser
+
+
+def _runtime_main(args) -> int:
+    """Dispatch the runtime-plane subcommands (wall-clock telemetry)."""
+    from repro.obs.runtime import (SpanSet, tail_run, wall_summary,
+                                   write_fleet_timeline, write_prometheus)
+
+    if args.command == "tail":
+        return tail_run(args.run_dir, follow=args.follow,
+                        interval=args.interval)
+    if args.command == "timeline":
+        try:
+            out = write_fleet_timeline(args.run_dir, out=args.out)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {out}")
+        return 0
+    if args.command == "runtime-metrics":
+        try:
+            out = write_prometheus(args.run_dir, out=args.out)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {out}")
+        return 0
+    # runtime-summary
+    spans = SpanSet.load_dir(args.run_dir)
+    if not spans.records:
+        print(f"no runtime span files under {args.run_dir}",
+              file=sys.stderr)
+        return 1
+    print(f"{len(spans.records)} records, {len(spans.bad_lines)} "
+          f"unparseable lines, {len(spans.tracks())} tracks")
+    for kind, count in sorted(spans.kinds().items()):
+        print(f"  {kind:>24}: {count}")
+    walls = wall_summary(spans)
+    if walls:
+        print("wall-time percentiles (seconds):")
+        for kind in sorted(walls):
+            stats = walls[kind]
+            print(f"  {kind:>24}: p50 {stats['p50']:.6f}  "
+                  f"p95 {stats['p95']:.6f}  max {stats['max']:.6f}")
+    return 0
 
 
 def _load_metrics(path: "str | None"):
@@ -88,6 +179,10 @@ def main(argv: "list[str] | None" = None) -> int:
         for code in sorted(TRACE_RULES):
             print(f"{code}: {TRACE_RULES[code]}")
         return 0
+
+    if args.command in ("timeline", "runtime-metrics", "runtime-summary",
+                        "tail"):
+        return _runtime_main(args)
 
     ts = TraceSet.load(args.trace)
 

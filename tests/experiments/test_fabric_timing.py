@@ -1,0 +1,305 @@
+"""Boundary timing of the coordinator's liveness clock, on a fake clock.
+
+The fabric's lease-expiry rule is ``now - last_seen > lease_timeout``
+(strictly greater): a heartbeat landing *exactly* at the timeout keeps
+the worker.  These tests drive :class:`Coordinator` internals directly
+with hand-built worker handles and an injected monotonic clock, so every
+boundary is exact -- no sleeps, no real transports.
+
+Also here: the worker-lifetime accounting regression (each id's *final*
+lifetime is recorded exactly once; the old ``setdefault`` on the
+shutdown path could freeze a stale value recorded at revoke time).
+"""
+
+import json
+from collections import deque
+
+import pytest
+
+from repro.app.iterative import ApplicationSpec
+from repro.errors import FabricError
+from repro.experiments.executor import CellResult, compute_cell
+from repro.experiments.fabric import (
+    CELL_RESULT,
+    HEARTBEAT,
+    Coordinator,
+    Envelope,
+    FabricConfig,
+    WorkerHandle,
+    _Lease,
+    _Worker,
+)
+from repro.experiments.scenarios import ExperimentSpec
+from repro.load.base import ConstantLoadModel
+from repro.platform.cluster import make_platform
+from repro.strategies.nothing import NothingStrategy
+
+
+def _build(x, seed):
+    platform = make_platform(3, ConstantLoadModel(int(x)), seed=seed,
+                             speed_range=(100e6, 200e6))
+    app = ApplicationSpec(n_processes=2, iterations=2,
+                          flops_per_iteration=1e8)
+    return platform, [("nothing", app, NothingStrategy())]
+
+
+SPEC = ExperimentSpec(name="timing-spec", title="timing", xlabel="n",
+                      x_values=(0.0, 1.0), build=_build,
+                      paper_claim="toy", default_seeds=1)
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> float:
+        self.now += dt
+        return self.now
+
+
+class FakeChannel:
+    """A scripted coordinator-side channel: the test enqueues envelopes."""
+
+    def __init__(self) -> None:
+        self.inbox: "deque[Envelope]" = deque()
+        self.sent: "list[Envelope]" = []
+        self.closed = False
+
+    def push(self, kind: str, sender: str, **payload) -> None:
+        self.inbox.append(Envelope(kind=kind, sender=sender,
+                                   payload=payload))
+
+    def poll(self) -> bool:
+        return bool(self.inbox)
+
+    def recv(self, timeout=None):
+        return self.inbox.popleft() if self.inbox else None
+
+    def send(self, env: Envelope) -> None:
+        self.sent.append(env)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def _coordinator(clock, *, lease_timeout=30.0, max_worker_restarts=0):
+    config = FabricConfig(workers=1, transport="thread",
+                          lease_timeout=lease_timeout,
+                          max_worker_restarts=max_worker_restarts)
+    return Coordinator(SPEC, [0], config=config, cache=None,
+                       instrument=False, clock=clock)
+
+
+def _register(coord, worker_id, *, started=0.0, alive=True):
+    """Install a hand-built live worker into the coordinator."""
+    channel = FakeChannel()
+    handle = WorkerHandle(worker_id=worker_id, channel=channel,
+                          is_alive=lambda: alive, kill=lambda: None,
+                          join=lambda timeout: None, started=started)
+    coord._workers[worker_id] = _Worker(handle=handle, last_seen=started)
+    return channel
+
+
+def _lease(coord, worker_id, keys):
+    """Give the worker an outstanding lease over ``keys`` and register
+    the matching cell specs as still-pending work."""
+    worker = coord._workers[worker_id]
+    for xi, si in keys:
+        coord._cell_specs[(xi, si)] = {"xi": xi, "si": si, "x": float(xi),
+                                       "seed": si, "digest": "d" * 64}
+    worker.lease = _Lease(lease_id=coord._next_lease, worker_id=worker_id,
+                          outstanding=set(keys))
+    coord._next_lease += 1
+
+
+# -- heartbeat exactly at the timeout ---------------------------------------
+
+
+def test_heartbeat_exactly_at_lease_timeout_keeps_worker():
+    clock = FakeClock()
+    coord = _coordinator(clock, lease_timeout=30.0)
+    channel = _register(coord, "w0", started=0.0)
+    channel.push(HEARTBEAT, "w0", cells_done=0)
+    clock.now = 30.0  # exactly the timeout: silence is NOT yet > timeout
+    assert coord._drive() is True
+    assert "w0" in coord._workers
+    assert coord.stats.workers_lost == 0
+    assert coord.stats.heartbeats == 1
+    assert coord._workers["w0"].last_seen == 30.0
+
+
+def test_silence_exactly_at_lease_timeout_keeps_worker():
+    # The strict-> boundary without any message at all: a worker last
+    # seen at t=0 survives the poll at t=30.0 and dies at t=30.000001.
+    clock = FakeClock()
+    coord = _coordinator(clock, lease_timeout=30.0)
+    _register(coord, "w0", started=0.0)
+    _register(coord, "w1", started=0.0)  # fleet survivor
+    clock.now = 30.0
+    coord._drive()
+    assert "w0" in coord._workers
+    clock.now = 30.000001
+    coord._drive()
+    assert "w0" not in coord._workers
+    assert coord.stats.workers_lost == 2  # both were equally silent
+
+
+def test_expired_lease_requeues_outstanding_cells_in_grid_order():
+    clock = FakeClock()
+    coord = _coordinator(clock, lease_timeout=10.0)
+    _register(coord, "w0", started=0.0)
+    _register(coord, "w1", started=0.0)
+    coord._workers["w1"].last_seen = 5.0  # w1 stays inside the window
+    _lease(coord, "w0", [(1, 0), (0, 0)])
+    clock.now = 10.5
+    coord._drive()
+    assert "w0" not in coord._workers
+    assert coord.stats.revoked_leases == 1
+    assert coord.stats.requeued_cells == 2
+    assert [(c["xi"], c["si"]) for c in coord.queue] == [(0, 0), (1, 0)]
+    assert "w1" in coord._workers
+
+
+# -- revoke-vs-result clock ordering ----------------------------------------
+
+
+def _cell_payload():
+    cell = compute_cell(SPEC, 0.0, 0)
+    return cell.to_payload()
+
+
+def test_result_already_queued_beats_the_revoke():
+    # The worker went silent past the timeout, but its CELL_RESULT is
+    # already sitting in the channel when the poll round runs.  Messages
+    # are pumped before expiry is checked -- with the same ``now`` -- so
+    # the result lands, refreshes liveness, and the worker survives.
+    clock = FakeClock()
+    coord = _coordinator(clock, lease_timeout=10.0)
+    channel = _register(coord, "w0", started=0.0)
+    _lease(coord, "w0", [(0, 0)])
+    channel.push(CELL_RESULT, "w0", lease=0, xi=0, si=0, x=0.0, seed=0,
+                 ok=True, cell=_cell_payload(), wall_s=0.25)
+    clock.now = 11.0  # past the timeout
+    coord._drive()
+    assert "w0" in coord._workers
+    assert (0, 0) in coord.cells
+    assert coord.cell_walls == [0.25]
+    assert coord.stats.workers_lost == 0
+
+
+def test_result_after_revoke_and_recompute_is_a_counted_duplicate():
+    # w0's lease expired and (0, 0) was recomputed by w1; the stale
+    # result w0 pushed before dying must count as a duplicate and leave
+    # the first-won cell untouched.
+    clock = FakeClock()
+    coord = _coordinator(clock, lease_timeout=10.0)
+    _register(coord, "w0", started=0.0)
+    w1_channel = _register(coord, "w1", started=0.0)
+    coord._workers["w1"].last_seen = 8.0
+    _lease(coord, "w0", [(0, 0)])
+    clock.now = 10.5
+    coord._drive()  # w0 revoked, (0, 0) requeued
+    assert coord.queue and "w0" not in coord._workers
+
+    payload = _cell_payload()
+    w1_channel.push(CELL_RESULT, "w1", lease=1, xi=0, si=0, x=0.0,
+                    seed=0, ok=True, cell=payload, wall_s=0.1)
+    clock.now = 11.0
+    coord._drive()
+    first = coord.cells[(0, 0)]
+    assert coord.stats.duplicate_results == 0
+
+    w1_channel.push(CELL_RESULT, "w1", lease=0, xi=0, si=0, x=0.0,
+                    seed=0, ok=True, cell=payload, wall_s=9.9)
+    clock.now = 12.0
+    coord._drive()
+    assert coord.stats.duplicate_results == 1
+    assert coord.cells[(0, 0)] is first
+    assert coord.cell_walls == [0.1]  # the duplicate's wall is ignored
+
+
+def test_all_workers_lost_with_no_restart_budget_raises():
+    clock = FakeClock()
+    coord = _coordinator(clock, lease_timeout=10.0,
+                         max_worker_restarts=0)
+    _register(coord, "w0", started=0.0)
+    coord._cell_specs[(0, 0)] = {"xi": 0, "si": 0, "x": 0.0, "seed": 0,
+                                 "digest": "d" * 64}
+    clock.now = 20.0
+    with pytest.raises(FabricError, match="restart budget"):
+        coord._drive()
+
+
+# -- worker-lifetime accounting (the setdefault regression) -----------------
+
+
+def test_lifetime_recorded_once_on_loss():
+    clock = FakeClock()
+    coord = _coordinator(clock, lease_timeout=10.0)
+    _register(coord, "w0", started=2.0)
+    _register(coord, "w1", started=0.0)
+    coord._workers["w1"].last_seen = 9.0
+    clock.now = 14.0
+    coord._drive()  # w0 silent for 12s > 10s
+    assert coord.stats.worker_lifetimes == {"w0": 12.0}
+
+
+def test_shutdown_lifetime_wins_over_stale_revoke_lifetime():
+    # Regression: a worker id revoked at t=10 (lifetime 10) that is
+    # *re-registered* and still alive at shutdown must record its final
+    # lifetime -- the old ``setdefault`` froze the stale 10.0 forever.
+    clock = FakeClock()
+    coord = _coordinator(clock, lease_timeout=10.0)
+    _register(coord, "w0", started=0.0)
+    _register(coord, "keeper", started=0.0)
+    coord._workers["keeper"].last_seen = 9.0
+    clock.now = 10.5
+    coord._drive()
+    assert coord.stats.worker_lifetimes["w0"] == 10.5
+
+    _register(coord, "w0", started=5.0)  # same id, later registration
+    coord._workers["w0"].last_seen = clock.now
+    clock.now = 50.0
+    coord._shutdown_fleet()
+    assert coord.stats.worker_lifetimes["w0"] == 45.0  # not the stale 10.5
+    assert coord.stats.worker_lifetimes["keeper"] == 50.0
+    assert not coord._workers
+
+
+def test_shutdown_records_every_worker_exactly_once():
+    clock = FakeClock()
+    coord = _coordinator(clock)
+    _register(coord, "w0", started=1.0)
+    _register(coord, "w1", started=3.0)
+    clock.now = 7.0
+    coord._shutdown_fleet()
+    assert coord.stats.worker_lifetimes == {"w0": 6.0, "w1": 4.0}
+
+
+# -- telemetry stays out of the deterministic result ------------------------
+
+
+def test_fake_clock_run_with_telemetry_is_byte_identical(tmp_path):
+    """End-to-end on the thread transport: telemetry on vs off."""
+    from repro.experiments.fabric import execute_sweep_fabric
+
+    plain, _, _ = execute_sweep_fabric(SPEC, seeds=1, workers=2,
+                                       transport="thread")
+    run_dir = tmp_path / "rt"
+    traced, _, _ = execute_sweep_fabric(SPEC, seeds=1, workers=2,
+                                        transport="thread",
+                                        runtime_dir=run_dir)
+    assert json.dumps(plain.to_dict(), sort_keys=True) == \
+        json.dumps(traced.to_dict(), sort_keys=True)
+    names = {p.name for p in run_dir.iterdir()}
+    assert "spans-coordinator.jsonl" in names
+    assert "timeline.trace.json" in names
+    assert "metrics.prom" in names
+    doc = json.loads((run_dir / "timeline.trace.json").read_text())
+    track_names = {e["args"]["name"] for e in doc["traceEvents"]
+                   if e["ph"] == "M"}
+    assert "coordinator" in track_names
+    assert any(n.startswith("worker ") for n in track_names)

@@ -106,7 +106,7 @@ def test_bench_write_is_atomic_no_tmp_left_behind(tmp_path):
     append_bench_record(path, _timing())
     leftovers = [p for p in tmp_path.iterdir() if p.name != path.name]
     assert leftovers == []
-    assert json.loads(path.read_text())["version"] == 3
+    assert json.loads(path.read_text())["version"] == 4
 
 
 def test_corrupt_bench_file_preserved_not_clobbered(tmp_path):
@@ -165,7 +165,7 @@ def test_concurrent_bench_appends_never_corrupt_the_file(tmp_path):
     # file itself must always parse: every observable state is some
     # complete, valid document (tmp + os.replace).
     doc = json.loads(path.read_text())
-    assert doc["version"] == 3
+    assert doc["version"] == 4
     assert len(doc["records"]) >= 1
     assert not list(tmp_path.glob("*.tmp*"))
 
