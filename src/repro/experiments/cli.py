@@ -51,9 +51,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fabric worker count (default: 4; only with "
                              "--fabric)")
     parser.add_argument("--fabric-transport",
-                        choices=("thread", "process", "socket"),
+                        choices=("thread", "process", "socket", "tcp"),
                         default="process",
-                        help="fabric transport (default: process)")
+                        help="fabric transport (default: process; 'tcp' "
+                             "binds --listen and accepts remote workers "
+                             "mid-run)")
+    parser.add_argument("--listen", metavar="HOST:PORT",
+                        default="127.0.0.1:0",
+                        help="tcp transport only: the coordinator's bind "
+                             "address (default: 127.0.0.1:0, an ephemeral "
+                             "loopback port; the bound address is printed "
+                             "on stderr)")
+    parser.add_argument("--fabric-token", metavar="TOKEN", default=None,
+                        help="tcp transport only: shared secret remote "
+                             "workers must present (default: a fresh "
+                             "random token per run, printed on stderr)")
     parser.add_argument("--fabric-chaos", metavar="MODE:WORKER:AFTER",
                         default=None,
                         help="inject a worker loss (e.g. 'crash:0:2' = "
@@ -180,6 +192,8 @@ def _execute(args, spec, session):
     if not args.fabric:
         if args.fabric_chaos is not None:
             raise SystemExit("--fabric-chaos needs --fabric")
+        if args.fabric_token is not None:
+            raise SystemExit("--fabric-token needs --fabric")
         result, timing = execute_sweep(spec, seeds=args.seeds,
                                        jobs=args.jobs, cache_dir=cache_dir,
                                        obs_session=session,
@@ -192,7 +206,8 @@ def _execute(args, spec, session):
     chaos = (WorkerChaos.parse(args.fabric_chaos)
              if args.fabric_chaos is not None else None)
     config = FabricConfig(workers=args.workers,
-                          transport=args.fabric_transport, chaos=chaos)
+                          transport=args.fabric_transport, chaos=chaos,
+                          listen=args.listen, token=args.fabric_token)
     return execute_sweep_fabric(spec, seeds=args.seeds, config=config,
                                 cache_dir=cache_dir, obs_session=session,
                                 runtime_dir=args.runtime_telemetry,

@@ -19,12 +19,20 @@ pluggable transport:
   socket carrying length-prefixed pickled envelopes.  The worker side
   only needs the address, so the same protocol extends to remote
   launchers.
+* ``tcp``      -- the cross-host story: the coordinator binds a TCP
+  listener (``FabricConfig.listen``), launches its local fleet over
+  loopback, and *additionally* accepts remote workers bootstrapped with
+  ``python -m repro.experiments.fabric worker HOST:PORT --token T`` at
+  any point of the run -- late joiners pass the HELLO/WELCOME handshake
+  (token, protocol version, spec fingerprint; see
+  :mod:`repro.experiments.fabric.wire`) and are leased work mid-run.
 
 Protocol (see docs/FABRIC.md for the full schema):
 
 * worker -> coordinator: ``REQUEST_WORK``, ``CELL_RESULT``, ``HEARTBEAT``
+  (and, for TCP peers, the ``HELLO`` that opens the handshake)
 * coordinator -> worker: ``ASSIGN_CELLS`` (a lease), ``DRAIN`` (idle,
-  ask again), ``SHUTDOWN`` (exit now)
+  ask again), ``SHUTDOWN`` (exit now), ``WELCOME`` (handshake verdict)
 
 Every message from a worker refreshes its liveness; a worker whose
 process died, or that has been silent longer than
@@ -48,12 +56,11 @@ heartbeat-expiry path).
 from __future__ import annotations
 
 import os
-import pickle
 import queue
-import select
+import secrets
 import signal
 import socket
-import struct
+import sys
 import tempfile
 import threading
 import time
@@ -62,69 +69,24 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from repro import obs
-from repro.errors import FabricError
+from repro.errors import ExperimentError, FabricError
 from repro.experiments.executor import (CellCache, CellResult, SweepTiming,
                                         cell_failure, compute_cell, fold_obs,
                                         merge_cells, plan_cells)
+from repro.experiments.fabric.wire import (COORDINATOR, WELCOME,
+                                           ChannelClosed, Envelope,
+                                           HandshakeInfo, _PipeChannel,
+                                           _QueuePair, _SocketChannel,
+                                           check_hello, client_handshake,
+                                           welcome_payload)
+from repro.experiments.fabric.wire import (ASSIGN_CELLS, CELL_RESULT, DRAIN,  # noqa: F401  (re-exported protocol surface)
+                                           HEARTBEAT, HELLO, MAX_FRAME_BYTES,
+                                           MESSAGE_KINDS, PROTOCOL_VERSION,
+                                           REQUEST_WORK, SHUTDOWN)
 from repro.experiments.runner import SweepResult
 from repro.experiments.scenarios import ExperimentSpec
 from repro.obs.runtime import (HEARTBEAT_BUCKETS, RunTelemetry,
                                RuntimeRecorder, wall_stats)
-
-#: Version stamped into every envelope; receivers reject mismatches
-#: instead of guessing, so mixed-version fleets fail loudly.
-PROTOCOL_VERSION = 1
-
-# -- message kinds ----------------------------------------------------------
-
-REQUEST_WORK = "REQUEST_WORK"
-ASSIGN_CELLS = "ASSIGN_CELLS"
-CELL_RESULT = "CELL_RESULT"
-HEARTBEAT = "HEARTBEAT"
-DRAIN = "DRAIN"
-SHUTDOWN = "SHUTDOWN"
-
-MESSAGE_KINDS = frozenset({REQUEST_WORK, ASSIGN_CELLS, CELL_RESULT,
-                           HEARTBEAT, DRAIN, SHUTDOWN})
-
-#: Sender id of the coordinator end of every channel.
-COORDINATOR = "coordinator"
-
-
-@dataclass(frozen=True)
-class Envelope:
-    """One typed, versioned fabric message."""
-
-    kind: str
-    sender: str
-    payload: dict = field(default_factory=dict)
-    version: int = PROTOCOL_VERSION
-
-    def __post_init__(self) -> None:
-        if self.kind not in MESSAGE_KINDS:
-            raise FabricError(f"unknown message kind {self.kind!r}")
-
-    def to_wire(self) -> dict:
-        """Plain-dict spelling (what the socket transport pickles)."""
-        return {"kind": self.kind, "sender": self.sender,
-                "payload": self.payload, "version": self.version}
-
-    @classmethod
-    def from_wire(cls, data: dict) -> "Envelope":
-        try:
-            env = cls(kind=data["kind"], sender=data["sender"],
-                      payload=dict(data["payload"]),
-                      version=int(data["version"]))
-        except FabricError:
-            raise
-        except (KeyError, TypeError, ValueError) as exc:
-            raise FabricError(f"malformed envelope {data!r}: {exc}") from exc
-        if env.version != PROTOCOL_VERSION:
-            raise FabricError(
-                f"protocol version mismatch: got {env.version}, "
-                f"speak {PROTOCOL_VERSION}")
-        return env
-
 
 # -- fault injection --------------------------------------------------------
 
@@ -171,6 +133,19 @@ class WorkerChaos:
         except ValueError as exc:
             raise FabricError(f"bad chaos spec {text!r}: {exc}") from exc
 
+    def to_wire(self) -> dict:
+        """Plain-data spelling (rides in the TCP WELCOME payload)."""
+        return {"mode": self.mode, "worker": self.worker,
+                "after_cells": self.after_cells}
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "WorkerChaos":
+        try:
+            return cls(mode=str(data["mode"]), worker=str(data["worker"]),
+                       after_cells=int(data["after_cells"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FabricError(f"malformed chaos spec {data!r}: {exc}") from exc
+
 
 @dataclass(frozen=True)
 class FabricConfig:
@@ -192,16 +167,32 @@ class FabricConfig:
     """Replacement workers the coordinator may launch before it starts
     shrinking the fleet instead."""
     chaos: "WorkerChaos | None" = None
+    listen: str = "127.0.0.1:0"
+    """TCP transport only: ``HOST:PORT`` the coordinator binds (port 0
+    picks an ephemeral port; the bound address is announced on stderr
+    and in the ``run.listen`` telemetry event)."""
+    token: "str | None" = None
+    """TCP transport only: the shared secret remote workers must present
+    in their HELLO.  None (the default) generates a fresh random token
+    per run -- fine for loopback fleets launched by the coordinator,
+    useless for remote workers, which need the operator to pass an
+    explicit ``--fabric-token``."""
+    handshake_timeout: float = 5.0
+    """Seconds a connected-but-silent TCP peer may take to produce its
+    HELLO before the coordinator drops the connection."""
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise FabricError(f"workers must be >= 1, got {self.workers}")
         if self.lease_size < 1:
             raise FabricError(f"lease_size must be >= 1, got {self.lease_size}")
-        if self.transport not in ("thread", "process", "socket"):
+        if self.transport not in ("thread", "process", "socket", "tcp"):
             raise FabricError(
                 f"unknown transport {self.transport!r}; pick from "
-                f"('thread', 'process', 'socket')")
+                f"('thread', 'process', 'socket', 'tcp')")
+        if self.handshake_timeout <= 0:
+            raise FabricError(
+                f"handshake_timeout must be > 0, got {self.handshake_timeout}")
         if (self.chaos is not None and self.chaos.mode == "kill"
                 and self.transport == "thread"):
             raise FabricError(
@@ -224,6 +215,12 @@ class FabricStats:
     workers_started: int = 0
     workers_lost: int = 0
     duplicate_results: int = 0
+    remote_workers_joined: int = 0
+    """TCP peers admitted through the accept loop mid-run (a subset of
+    ``workers_started``)."""
+    handshakes_rejected: int = 0
+    """TCP connections dropped at the gate: bad token, fingerprint or
+    version mismatch, undecodable bytes, or HELLO never arriving."""
     worker_lifetimes: "dict[str, float]" = field(default_factory=dict)
     """Seconds between launch and loss/shutdown, per worker id."""
 
@@ -239,163 +236,11 @@ class FabricStats:
             "workers_started": self.workers_started,
             "workers_lost": self.workers_lost,
             "duplicate_results": self.duplicate_results,
+            "remote_workers_joined": self.remote_workers_joined,
+            "handshakes_rejected": self.handshakes_rejected,
             "worker_lifetimes": {wid: self.worker_lifetimes[wid]
                                  for wid in sorted(self.worker_lifetimes)},
         }
-
-
-# -- channels ---------------------------------------------------------------
-#
-# A channel is one duplex coordinator<->worker conversation.  The
-# coordinator side needs non-blocking poll/recv (it multiplexes many
-# workers); the worker side needs a blocking recv with timeout.
-
-
-class ChannelClosed(FabricError):
-    """The peer hung up (worker death, coordinator death)."""
-
-
-class _QueuePair:
-    """Thread-transport channel half: two in-process queues."""
-
-    def __init__(self, inbox: "queue.SimpleQueue", outbox: "queue.SimpleQueue",
-                 ) -> None:
-        self._inbox = inbox
-        self._outbox = outbox
-
-    def send(self, env: Envelope) -> None:
-        self._outbox.put(env)
-
-    def poll(self) -> bool:
-        return not self._inbox.empty()
-
-    def recv(self, timeout: "float | None" = None) -> "Envelope | None":
-        try:
-            return self._inbox.get(timeout=timeout)
-        except queue.Empty:
-            return None
-
-    def close(self) -> None:  # queues are garbage-collected with the run
-        pass
-
-
-class _PipeChannel:
-    """Process-transport channel half: one end of ``multiprocessing.Pipe``."""
-
-    def __init__(self, conn) -> None:
-        self._conn = conn
-
-    def send(self, env: Envelope) -> None:
-        try:
-            self._conn.send(env)
-        except (OSError, ValueError, BrokenPipeError) as exc:
-            raise ChannelClosed(f"pipe send failed: {exc}") from exc
-
-    def poll(self) -> bool:
-        try:
-            return self._conn.poll()
-        except (OSError, ValueError):
-            raise ChannelClosed("pipe poll failed")
-
-    def recv(self, timeout: "float | None" = None) -> "Envelope | None":
-        try:
-            if not self._conn.poll(timeout):
-                return None
-            return self._conn.recv()
-        except (EOFError, OSError, ValueError) as exc:
-            raise ChannelClosed(f"pipe closed: {exc}") from exc
-
-    def close(self) -> None:
-        try:
-            self._conn.close()
-        except OSError:
-            pass
-
-
-class _SocketChannel:
-    """Socket-transport channel half: length-prefixed pickled envelopes.
-
-    Frames are ``struct('>I')`` length + ``pickle(envelope.to_wire())``;
-    :meth:`recv` revalidates kind and version through
-    :meth:`Envelope.from_wire`, so a wire peer cannot smuggle an untyped
-    message past the protocol.
-    """
-
-    _HEADER = struct.Struct(">I")
-
-    def __init__(self, sock: "socket.socket") -> None:
-        self._sock = sock
-        self._buffer = bytearray()
-        self._pending: "Envelope | None" = None
-
-    def send(self, env: Envelope) -> None:
-        frame = pickle.dumps(env.to_wire(), protocol=pickle.HIGHEST_PROTOCOL)
-        try:
-            self._sock.sendall(self._HEADER.pack(len(frame)) + frame)
-        except OSError as exc:
-            raise ChannelClosed(f"socket send failed: {exc}") from exc
-
-    def _pump(self, timeout: float) -> None:
-        """Pull whatever bytes are ready into the frame buffer."""
-        try:
-            ready, _, _ = select.select([self._sock], [], [], timeout)
-            if not ready:
-                return
-            chunk = self._sock.recv(1 << 16)
-        except OSError as exc:
-            raise ChannelClosed(f"socket recv failed: {exc}") from exc
-        if not chunk:
-            raise ChannelClosed("socket peer hung up")
-        self._buffer.extend(chunk)
-
-    def _take_frame(self) -> "Envelope | None":
-        header = self._HEADER.size
-        if len(self._buffer) < header:
-            return None
-        (length,) = self._HEADER.unpack(self._buffer[:header])
-        if len(self._buffer) < header + length:
-            return None
-        frame = bytes(self._buffer[header:header + length])
-        del self._buffer[:header + length]
-        return Envelope.from_wire(pickle.loads(frame))
-
-    def poll(self) -> bool:
-        env = self._take_frame()
-        if env is not None:
-            self._pending = env
-            return True
-        self._pump(0.0)
-        env = self._take_frame()
-        if env is not None:
-            self._pending = env
-            return True
-        return False
-
-    def recv(self, timeout: "float | None" = None) -> "Envelope | None":
-        pending = getattr(self, "_pending", None)
-        if pending is not None:
-            self._pending = None
-            return pending
-        env = self._take_frame()
-        if env is not None:
-            return env
-        deadline = (None if timeout is None
-                    else time.monotonic() + timeout)  # simlint: disable=SL001 (transport timeout, host time)
-        while True:
-            remaining = (0.05 if deadline is None
-                         else deadline - time.monotonic())  # simlint: disable=SL001 (transport timeout, host time)
-            if deadline is not None and remaining <= 0:
-                return None
-            self._pump(max(0.0, remaining))
-            env = self._take_frame()
-            if env is not None:
-                return env
-
-    def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
 
 
 # -- the worker -------------------------------------------------------------
@@ -550,6 +395,87 @@ def _socket_worker_entry(address, spec, instrument, config):  # pragma: no cover
     worker_main(_SocketChannel(sock), spec, instrument, config)
 
 
+def _tcp_worker_entry(address, token, spec, instrument, config):  # pragma: no cover - child process
+    """Locally-launched TCP worker: same host, same checkout, so the
+    spec travels by fork/spawn and only the handshake crosses the
+    wire."""
+    host, port = _parse_listen(address)
+    sock = socket.create_connection((host, port))
+    channel = _SocketChannel(sock)
+    client_handshake(channel, token, fingerprint=spec.fingerprint(),
+                     worker_id=config.worker_id)
+    worker_main(channel, spec, instrument, config)
+
+
+def run_remote_worker(address: str, token: str, *,
+                      spec: "ExperimentSpec | None" = None,
+                      worker_id: "str | None" = None,
+                      handshake_timeout: float = 10.0) -> str:
+    """Bootstrap one worker against a (possibly remote) coordinator.
+
+    The cross-host entry point behind ``python -m
+    repro.experiments.fabric worker HOST:PORT --token T``.  Connects,
+    runs the HELLO/WELCOME handshake, and -- once admitted -- serves
+    cells with the ordinary :func:`worker_main` loop until the
+    coordinator says ``SHUTDOWN`` or hangs up.  Returns the worker id
+    the coordinator assigned.
+
+    When ``spec`` is None (the CLI path) the scenario named in the
+    WELCOME is resolved from this checkout's registry and its
+    fingerprint is verified against the coordinator's, so two diverged
+    checkouts refuse to mix cells instead of silently breaking
+    byte-identical determinism.  Tests pass an unregistered ``spec``
+    directly; its fingerprint then rides in the HELLO and the
+    *coordinator* performs the same refusal.
+    """
+    host, port = _parse_listen(address)
+    try:
+        sock = socket.create_connection((host, port),
+                                        timeout=handshake_timeout)
+    except OSError as exc:
+        raise FabricError(
+            f"cannot reach coordinator at {address}: {exc}") from exc
+    sock.settimeout(None)
+    channel = _SocketChannel(sock)
+    fingerprint = spec.fingerprint() if spec is not None else None
+    try:
+        welcome = client_handshake(channel, token, fingerprint=fingerprint,
+                                   worker_id=worker_id,
+                                   timeout=handshake_timeout)
+    except FabricError:
+        channel.close()
+        raise
+    assigned = str(welcome.get("worker_id") or worker_id or "?")
+    if spec is None:
+        from repro.experiments.scenarios import get_scenario
+
+        scenario = str(welcome.get("scenario", ""))
+        try:
+            spec = get_scenario(scenario)
+        except ExperimentError as exc:
+            channel.close()
+            raise FabricError(
+                f"coordinator sweeps scenario {scenario!r}, which this "
+                f"checkout does not know: {exc}") from exc
+        local = spec.fingerprint()
+        if local != welcome.get("fingerprint"):
+            channel.close()
+            raise FabricError(
+                f"spec fingerprint mismatch for scenario {scenario!r}: "
+                f"this checkout computes {local[:12]}, the coordinator "
+                f"sweeps {str(welcome.get('fingerprint'))[:12]} -- "
+                f"refusing to contribute cells")
+    chaos = welcome.get("chaos")
+    config = WorkerConfig(
+        worker_id=assigned,
+        drain_pause=float(welcome.get("drain_pause", 0.02)),
+        chaos=WorkerChaos.from_wire(chaos) if chaos else None,
+        runtime_dir=welcome.get("runtime_dir"))
+    worker_main(channel, spec, bool(welcome.get("instrument", False)),
+                config)
+    return assigned
+
+
 # -- transports -------------------------------------------------------------
 
 
@@ -564,6 +490,12 @@ class WorkerHandle:
     join: "Callable[[float], None]"
     started: float = 0.0
     """``time.monotonic()`` at launch (worker-lifetime accounting)."""
+    remote: bool = False
+    """True for TCP peers that joined through the accept loop.  The
+    coordinator never spawned their process, so ``is_alive`` cannot
+    consult it -- a remote worker's death is observed through its
+    channel (:class:`ChannelClosed`) or its lease expiring, never
+    through process state."""
 
 
 class ThreadTransport:
@@ -586,6 +518,9 @@ class ThreadTransport:
             is_alive=thread.is_alive, kill=lambda: None,
             join=lambda timeout: thread.join(timeout),
             started=time.monotonic())  # simlint: disable=SL001 (worker-lifetime accounting, host time)
+
+    def poll_peers(self) -> "list[tuple[object, Envelope]]":
+        return []  # in-process transport: nobody can walk up and join
 
     def close(self) -> None:
         pass
@@ -616,6 +551,9 @@ class ProcessTransport:
             is_alive=process.is_alive, kill=kill,
             join=lambda timeout: process.join(timeout),
             started=time.monotonic())  # simlint: disable=SL001 (worker-lifetime accounting, host time)
+
+    def poll_peers(self) -> "list[tuple[object, Envelope]]":
+        return []  # pipes are created pairwise at launch; no listener
 
     def close(self) -> None:
         pass
@@ -664,6 +602,9 @@ class SocketTransport:
             join=lambda timeout: process.join(timeout),
             started=time.monotonic())  # simlint: disable=SL001 (worker-lifetime accounting, host time)
 
+    def poll_peers(self) -> "list[tuple[object, Envelope]]":
+        return []  # the UNIX listener accepts only workers it launched
+
     def close(self) -> None:
         try:
             self._listener.close()
@@ -673,13 +614,199 @@ class SocketTransport:
             pass
 
 
-def make_transport(name: str):
+def _parse_listen(text: str) -> "tuple[str, int]":
+    """Split ``HOST:PORT`` (IPv6 hosts may be bracketed or bare)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise FabricError(
+            f"listen address {text!r} is not of the form HOST:PORT")
+    host = host.strip("[]")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise FabricError(
+            f"listen address {text!r} has a non-numeric port") from None
+
+
+class TcpTransport:
+    """The cross-host transport: a TCP listener plus the admission gate.
+
+    Two populations share the listener.  ``launch()`` spawns *local*
+    loopback workers -- the coordinator's own fleet, the same
+    process-per-worker story as :class:`SocketTransport` -- and
+    :meth:`poll_peers` admits *remote* workers bootstrapped out-of-band
+    with ``python -m repro.experiments.fabric worker HOST:PORT --token
+    T``.  Both arrive as anonymous TCP connections and both pass the
+    same HELLO gate (token, protocol version, spec fingerprint -- see
+    :func:`~repro.experiments.fabric.wire.check_hello`); the only
+    difference is who picked the worker id.
+
+    The gate is fail-closed and non-blocking: a connection that has not
+    produced a valid HELLO within ``handshake_timeout`` seconds -- or
+    that produces garbage, an oversize frame, a forbidden pickle, a bad
+    token, or a foreign fingerprint -- is counted in :attr:`rejected`
+    and dropped (with a WELCOME refusal when the channel still works)
+    without ever touching coordinator state.
+    """
+
+    name = "tcp"
+
+    def __init__(self, handshake: HandshakeInfo, *,
+                 listen: str = "127.0.0.1:0",
+                 handshake_timeout: float = 5.0,
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.handshake = handshake
+        self.handshake_timeout = handshake_timeout
+        self.max_frame_bytes = max_frame_bytes
+        host, port = _parse_listen(listen)
+        try:
+            self._listener = socket.create_server((host, port))
+        except OSError as exc:
+            raise FabricError(
+                f"cannot bind fabric listener on {listen!r}: {exc}") from exc
+        self._listener.setblocking(False)
+        bound = self._listener.getsockname()
+        self.address = f"{bound[0]}:{bound[1]}"
+        #: Accepted-but-unproven connections, with their gate deadline.
+        self._pending: "list[tuple[_SocketChannel, float]]" = []
+        #: Peers that passed the gate while ``launch()`` was waiting for
+        #: a *different* worker id; the next ``poll_peers`` returns them.
+        self._backlog: "list[tuple[_SocketChannel, Envelope]]" = []
+        #: Connections dropped at the gate (any reason).
+        self.rejected = 0
+
+    def launch(self, spec, instrument, config: WorkerConfig) -> WorkerHandle:
+        import multiprocessing
+
+        process = multiprocessing.Process(
+            target=_tcp_worker_entry,
+            args=(self.address, self.handshake.token, spec, instrument,
+                  config),
+            name=f"fabric-{config.worker_id}", daemon=True)
+        process.start()
+        deadline = time.monotonic() + 10.0  # simlint: disable=SL001 (transport timeout, host time)
+        channel: "_SocketChannel | None" = None
+        while channel is None and time.monotonic() < deadline:  # simlint: disable=SL001 (transport timeout, host time)
+            for peer, hello in self.poll_peers():
+                if (channel is None
+                        and hello.payload.get("worker_id")
+                        == config.worker_id):
+                    channel = peer
+                else:  # a stranger mid-launch: keep it for the poll cycle
+                    self._backlog.append((peer, hello))
+            if channel is None:
+                time.sleep(0.01)
+        if channel is None:
+            process.kill()
+            raise FabricError(
+                f"worker {config.worker_id} never completed the handshake")
+        channel.send(Envelope(
+            kind=WELCOME, sender=COORDINATOR,
+            payload=welcome_payload(self.handshake, config.worker_id)))
+
+        def kill() -> None:
+            if process.is_alive():
+                process.kill()
+
+        return WorkerHandle(
+            worker_id=config.worker_id, channel=channel,
+            is_alive=process.is_alive, kill=kill,
+            join=lambda timeout: process.join(timeout),
+            started=time.monotonic())  # simlint: disable=SL001 (worker-lifetime accounting, host time)
+
+    def poll_peers(self) -> "list[tuple[_SocketChannel, Envelope]]":
+        """Non-blocking admission pump: accept, gate, return the worthy.
+
+        Returns ``(channel, hello)`` pairs that presented a valid,
+        token-bearing, fingerprint-compatible HELLO.  The WELCOME is
+        *not* sent here -- the caller owns worker-id assignment
+        (``launch`` for its own spawn, the coordinator's
+        ``_adopt_remote`` for late joiners).
+        """
+        now = time.monotonic()  # simlint: disable=SL001 (handshake deadline, host time)
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                break  # listener closed under us: nothing to accept
+            conn.setblocking(True)
+            self._pending.append((
+                _SocketChannel(conn, max_frame_bytes=self.max_frame_bytes),
+                now + self.handshake_timeout))
+        admitted = list(self._backlog)
+        self._backlog.clear()
+        still_pending: "list[tuple[_SocketChannel, float]]" = []
+        for channel, gate_deadline in self._pending:
+            try:
+                if not channel.poll():
+                    if now > gate_deadline:
+                        self._reject(channel, "handshake timed out")
+                    else:
+                        still_pending.append((channel, gate_deadline))
+                    continue
+                hello = channel.recv(timeout=0.0)
+            except ChannelClosed as exc:
+                # Hung up, oversize frame, forbidden pickle: the channel
+                # is already poisoned, don't try to answer on it.
+                self._reject(channel, str(exc), respond=False)
+                continue
+            except FabricError as exc:  # decoded but unspeakable (version)
+                self._reject(channel, str(exc))
+                continue
+            if hello is None:
+                still_pending.append((channel, gate_deadline))
+                continue
+            reason = check_hello(hello, self.handshake)
+            if reason is not None:
+                self._reject(channel, reason)
+                continue
+            admitted.append((channel, hello))
+        self._pending = still_pending
+        return admitted
+
+    def _reject(self, channel: "_SocketChannel", reason: str, *,
+                respond: bool = True) -> None:
+        self.rejected += 1
+        if respond:
+            try:
+                channel.send(Envelope(kind=WELCOME, sender=COORDINATOR,
+                                      payload={"ok": False,
+                                               "error": reason}))
+            except FabricError:
+                pass
+        channel.close()
+
+    def close(self) -> None:
+        for channel, _ in self._pending:
+            channel.close()
+        for channel, _ in self._backlog:
+            channel.close()
+        self._pending = []
+        self._backlog = []
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+def make_transport(name: str, *,
+                   handshake: "HandshakeInfo | None" = None,
+                   listen: str = "127.0.0.1:0",
+                   handshake_timeout: float = 5.0):
     if name == "thread":
         return ThreadTransport()
     if name == "process":
         return ProcessTransport()
     if name == "socket":
         return SocketTransport()
+    if name == "tcp":
+        if handshake is None:
+            raise FabricError(
+                "tcp transport needs a HandshakeInfo (token + fingerprint)")
+        return TcpTransport(handshake, listen=listen,
+                            handshake_timeout=handshake_timeout)
     raise FabricError(f"unknown transport {name!r}")
 
 
@@ -737,6 +864,74 @@ class Coordinator:
         self._failure: "ExperimentError | None" = None
 
     # -- worker lifecycle ---------------------------------------------------
+
+    def _make_transport(self):
+        if self.config.transport != "tcp":
+            return make_transport(self.config.transport)
+        runtime_dir = None
+        if self.telemetry is not None and self.telemetry.run_dir is not None:
+            runtime_dir = str(self.telemetry.run_dir)
+        handshake = HandshakeInfo(
+            token=self.config.token
+            or secrets.token_hex(16),  # simlint: disable=SL001,SF002 (handshake shared secret, not a simulation draw)
+            scenario=self.spec.name,
+            fingerprint=self.spec.fingerprint(),
+            instrument=self.instrument,
+            drain_pause=self.config.drain_pause,
+            runtime_dir=runtime_dir,
+            chaos=(self.config.chaos.to_wire()
+                   if self.config.chaos is not None else None))
+        transport = make_transport(
+            "tcp", handshake=handshake, listen=self.config.listen,
+            handshake_timeout=self.config.handshake_timeout)
+        # stderr, deliberately: stdout carries the CLI's deterministic
+        # sweep summary, which CI byte-compares across transports.
+        print(f"[fabric] coordinator listening on {transport.address}",
+              file=sys.stderr, flush=True)
+        if self.config.token is None:
+            # Auto-generated: the operator has no other way to learn it.
+            print(f"[fabric] run token: {handshake.token}",
+                  file=sys.stderr, flush=True)
+        return transport
+
+    def _adopt_remote(self, channel, hello: Envelope, now: float) -> None:
+        """Admit one handshake-validated TCP peer as a fleet member.
+
+        The peer may request an id (``--worker-id``); a collision with
+        a live worker mints a fresh one instead.  Determinism does not
+        care either way -- results are keyed by cell coordinates, and
+        the chaos matcher targets whichever worker ends up owning the
+        configured id.
+        """
+        requested = hello.payload.get("worker_id")
+        if not isinstance(requested, str) or not requested \
+                or requested in self._workers:
+            requested = None
+        if requested is None:
+            worker_id = f"w{self._next_worker}"
+            self._next_worker += 1
+        else:
+            worker_id = requested
+        try:
+            channel.send(Envelope(
+                kind=WELCOME, sender=COORDINATOR,
+                payload=welcome_payload(self._transport.handshake,
+                                        worker_id)))
+        except FabricError:
+            # Vanished between HELLO and WELCOME: never joined.
+            channel.close()
+            self._transport.rejected += 1
+            return
+        handle = WorkerHandle(
+            worker_id=worker_id, channel=channel,
+            is_alive=lambda: True,  # only the channel/lease can tell
+            kill=lambda: None, join=lambda timeout: None,
+            started=now, remote=True)
+        self._workers[worker_id] = _Worker(handle=handle, last_seen=now)
+        self.stats.workers_started += 1
+        self.stats.remote_workers_joined += 1
+        self._tel_event("worker.joined", worker_id=worker_id, remote=True)
+        self._tel_count("runtime.workers_started_total")
 
     def _launch_worker(self) -> None:
         worker_id = f"w{self._next_worker}"
@@ -928,7 +1123,7 @@ class Coordinator:
         if len(self.cells) >= total:
             return self.cells  # fully warm cache: no fleet needed
 
-        self._transport = make_transport(self.config.transport)
+        self._transport = self._make_transport()
         try:
             for _ in range(self.config.workers):
                 self._launch_worker()
@@ -940,6 +1135,8 @@ class Coordinator:
             return self.cells
         finally:
             self._shutdown_fleet()
+            self.stats.handshakes_rejected = getattr(
+                self._transport, "rejected", 0)
             self._transport.close()
 
     def _stragglers(self, now: float) -> int:
@@ -954,6 +1151,10 @@ class Coordinator:
         message was handled (the caller sleeps otherwise)."""
         progressed = False
         now = self._clock()
+        if self._transport is not None:  # boundary tests drive bare
+            for channel, hello in self._transport.poll_peers():
+                self._adopt_remote(channel, hello, now)
+                progressed = True
         for worker_id in list(self._workers):
             worker = self._workers.get(worker_id)
             if worker is None:
@@ -967,6 +1168,13 @@ class Coordinator:
                     progressed = True
             except ChannelClosed:
                 self._lose_worker(worker_id, now, reason="channel-closed")
+                continue
+            except FabricError:
+                # A live channel speaking nonsense (unexpected kind,
+                # malformed envelope): treat it exactly like a death --
+                # revoke, requeue, replace -- instead of taking the
+                # coordinator down with it.
+                self._lose_worker(worker_id, now, reason="protocol-error")
                 continue
             if not worker.handle.is_alive():
                 self._lose_worker(worker_id, now, reason="dead")

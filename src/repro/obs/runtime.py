@@ -43,9 +43,10 @@ Record schema (one JSON object per line, key-sorted)::
      ...}                          # kind-specific fields
 
 The first record of every file is ``runtime.meta`` and additionally
-carries ``unix`` (``time.time()``) and ``schema``; the timeline exporter
-uses the (``t``, ``unix``) anchor pair to align files recorded by
-processes with different monotonic epochs.
+carries ``unix`` (``time.time()``), ``schema``, and ``host`` (the
+machine that wrote the file -- TCP fabric workers record on their own
+host); the timeline exporter uses the (``t``, ``unix``) anchor pair to
+align files recorded by processes with different monotonic epochs.
 """
 
 # This module *is* the wall-clock plane: every clock read below is
@@ -57,6 +58,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import socket
 import sys
 import time
 from pathlib import Path
@@ -106,8 +108,11 @@ class RuntimeRecorder:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh: "TextIO | None" = open(self.path, "a", buffering=1,
                                          encoding="utf-8")
+        # ``host`` tells a cross-host fleet timeline which machine wrote
+        # each track: TCP fabric workers append spans on their own host
+        # (same meta schema, so readers of schema 1 are unaffected).
         self.event("runtime.meta", schema=RUNTIME_SCHEMA,
-                   unix=self._unix_clock())
+                   unix=self._unix_clock(), host=socket.gethostname())
 
     @classmethod
     def for_worker(cls, run_dir: "str | os.PathLike",

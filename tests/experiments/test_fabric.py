@@ -102,7 +102,8 @@ def test_envelope_rejects_malformed_wire():
 
 def test_message_kinds_cover_the_protocol():
     assert MESSAGE_KINDS == {"REQUEST_WORK", "ASSIGN_CELLS", "CELL_RESULT",
-                             "HEARTBEAT", "DRAIN", "SHUTDOWN"}
+                             "HEARTBEAT", "DRAIN", "SHUTDOWN",
+                             "HELLO", "WELCOME"}
 
 
 def test_chaos_parse():
@@ -127,12 +128,15 @@ def test_config_validation():
         FabricConfig(transport="thread",
                      chaos=WorkerChaos(mode="kill", worker="w0",
                                        after_cells=0))
+    with pytest.raises(FabricError):
+        FabricConfig(transport="tcp", handshake_timeout=0.0)
+    assert FabricConfig(transport="tcp").listen == "127.0.0.1:0"
 
 
 # -- byte-identity across transports ----------------------------------------
 
 
-@pytest.mark.parametrize("transport", ["thread", "process", "socket"])
+@pytest.mark.parametrize("transport", ["thread", "process", "socket", "tcp"])
 def test_fabric_matches_serial_byte_identical(transport):
     result, timing, stats = execute_sweep_fabric(
         TINY, seeds=2, workers=3, transport=transport)
