@@ -395,15 +395,17 @@ def _socket_worker_entry(address, spec, instrument, config):  # pragma: no cover
     worker_main(_SocketChannel(sock), spec, instrument, config)
 
 
-def _tcp_worker_entry(address, token, spec, instrument, config):  # pragma: no cover - child process
+def _tcp_worker_entry(address, token, spec, instrument, config,
+                      nonce=None):  # pragma: no cover - child process
     """Locally-launched TCP worker: same host, same checkout, so the
     spec travels by fork/spawn and only the handshake crosses the
-    wire."""
+    wire.  The nonce -- minted by ``launch()``, never on the wire
+    before this HELLO -- proves this peer is the spawned child."""
     host, port = _parse_listen(address)
     sock = socket.create_connection((host, port))
     channel = _SocketChannel(sock)
     client_handshake(channel, token, fingerprint=spec.fingerprint(),
-                     worker_id=config.worker_id)
+                     worker_id=config.worker_id, nonce=nonce)
     worker_main(channel, spec, instrument, config)
 
 
@@ -678,10 +680,15 @@ class TcpTransport:
     def launch(self, spec, instrument, config: WorkerConfig) -> WorkerHandle:
         import multiprocessing
 
+        # The child proves it is *this* launch by echoing a per-launch
+        # nonce that travels only through the process args -- a remote
+        # token-holder claiming the same worker id cannot steal the
+        # slot (and with it the process handle) during the wait below.
+        nonce = secrets.token_hex(16)  # simlint: disable=SL001,SF002 (launch-proof secret, not a simulation draw)
         process = multiprocessing.Process(
             target=_tcp_worker_entry,
             args=(self.address, self.handshake.token, spec, instrument,
-                  config),
+                  config, nonce),
             name=f"fabric-{config.worker_id}", daemon=True)
         process.start()
         deadline = time.monotonic() + 10.0  # simlint: disable=SL001 (transport timeout, host time)
@@ -689,8 +696,7 @@ class TcpTransport:
         while channel is None and time.monotonic() < deadline:  # simlint: disable=SL001 (transport timeout, host time)
             for peer, hello in self.poll_peers():
                 if (channel is None
-                        and hello.payload.get("worker_id")
-                        == config.worker_id):
+                        and hello.payload.get("nonce") == nonce):
                     channel = peer
                 else:  # a stranger mid-launch: keep it for the poll cycle
                     self._backlog.append((peer, hello))
@@ -758,7 +764,13 @@ class TcpTransport:
             if hello is None:
                 still_pending.append((channel, gate_deadline))
                 continue
-            reason = check_hello(hello, self.handshake)
+            try:
+                reason = check_hello(hello, self.handshake)
+            except Exception as exc:
+                # Fail closed: whatever a hostile HELLO manages to
+                # trip, it costs the peer its connection, not the
+                # coordinator its sweep.
+                reason = f"malformed HELLO: {exc}"
             if reason is not None:
                 self._reject(channel, reason)
                 continue
@@ -907,11 +919,8 @@ class Coordinator:
         if not isinstance(requested, str) or not requested \
                 or requested in self._workers:
             requested = None
-        if requested is None:
-            worker_id = f"w{self._next_worker}"
-            self._next_worker += 1
-        else:
-            worker_id = requested
+        worker_id = requested if requested is not None \
+            else self._mint_worker_id()
         try:
             channel.send(Envelope(
                 kind=WELCOME, sender=COORDINATOR,
@@ -933,9 +942,22 @@ class Coordinator:
         self._tel_event("worker.joined", worker_id=worker_id, remote=True)
         self._tel_count("runtime.workers_started_total")
 
-    def _launch_worker(self) -> None:
+    def _mint_worker_id(self) -> str:
+        """A counter id no *live* worker holds.
+
+        Remote peers may claim arbitrary ids (``--worker-id w5``), so
+        the counter skips over taken ids rather than silently
+        overwriting the registry entry -- an overwrite would orphan the
+        incumbent's lease and hang the sweep.
+        """
+        while f"w{self._next_worker}" in self._workers:
+            self._next_worker += 1
         worker_id = f"w{self._next_worker}"
         self._next_worker += 1
+        return worker_id
+
+    def _launch_worker(self) -> None:
+        worker_id = self._mint_worker_id()
         runtime_dir = None
         if self.telemetry is not None and self.telemetry.run_dir is not None:
             runtime_dir = str(self.telemetry.run_dir)

@@ -382,8 +382,10 @@ def check_hello(env: Envelope, info: HandshakeInfo) -> "str | None":
     if env.kind != HELLO:
         return f"expected HELLO, got {env.kind}"
     token = env.payload.get("token")
-    if not isinstance(token, str) or not hmac.compare_digest(token,
-                                                             info.token):
+    # Compare as bytes: compare_digest raises TypeError on non-ASCII
+    # str input, and the token here is attacker-supplied.
+    if not isinstance(token, str) or not hmac.compare_digest(
+            token.encode("utf-8"), info.token.encode("utf-8")):
         return "bad token"
     fingerprint = env.payload.get("fingerprint")
     if fingerprint is not None and fingerprint != info.fingerprint:
@@ -404,17 +406,21 @@ def welcome_payload(info: HandshakeInfo, worker_id: str) -> dict:
 def client_handshake(channel, token: str, *,
                      fingerprint: "str | None" = None,
                      worker_id: "str | None" = None,
+                     nonce: "str | None" = None,
                      timeout: float = 10.0) -> dict:
     """Run the worker side of the handshake; the WELCOME payload.
 
     Sends HELLO, waits for the coordinator's verdict, and raises a
     clean :class:`FabricError` -- carrying the coordinator's stated
-    reason -- on refusal, timeout, or a non-WELCOME reply.
+    reason -- on refusal, timeout, or a non-WELCOME reply.  ``nonce``
+    is the launch-proof echoed by locally-spawned TCP workers; remote
+    bootstraps leave it None.
     """
     channel.send(Envelope(kind=HELLO, sender=worker_id or "?",
                           payload={"token": token,
                                    "fingerprint": fingerprint,
-                                   "worker_id": worker_id}))
+                                   "worker_id": worker_id,
+                                   "nonce": nonce}))
     env = channel.recv(timeout=timeout)
     if env is None:
         raise FabricError(

@@ -25,6 +25,7 @@ from repro.errors import FabricError
 from repro.experiments.executor import execute_sweep, merge_cells
 from repro.experiments.fabric import (
     COORDINATOR,
+    HELLO,
     WELCOME,
     Coordinator,
     Envelope,
@@ -32,10 +33,12 @@ from repro.experiments.fabric import (
     HandshakeInfo,
     TcpTransport,
     WorkerChaos,
+    WorkerConfig,
     execute_sweep_fabric,
     run_remote_worker,
     welcome_payload,
 )
+from repro.experiments.fabric.wire import _SocketChannel
 from repro.experiments.scenarios import ExperimentSpec
 from tests.experiments.test_fabric import SERIAL, TINY, _canon, _tiny_build
 
@@ -266,6 +269,58 @@ def test_gate_times_out_silent_connections(gate):
     sock = _connect(gate.address)
     _pump_until(gate, lambda _peers: gate.rejected >= 1, timeout=10.0)
     sock.close()
+
+
+def test_gate_survives_non_ascii_token(gate):
+    """A HELLO bearing a non-ASCII token used to blow up
+    ``hmac.compare_digest`` with a TypeError inside ``poll_peers``,
+    aborting the whole sweep; it must cost the peer its connection
+    instead (the pump below propagates any exception as a failure)."""
+    channel = _SocketChannel(_connect(gate.address))
+    channel.send(Envelope(kind=HELLO, sender="?",
+                          payload={"token": "sésame€"}))
+    _pump_until(gate, lambda _peers: gate.rejected >= 1)
+    channel.close()
+
+
+def test_launch_ignores_impostor_claiming_worker_id(gate):
+    """A token-holding stranger that claims the about-to-launch worker
+    id must not be handed the local worker's slot: ``launch`` matches
+    its spawned child by a per-launch nonce, and the impostor lands in
+    the backlog as an ordinary late joiner."""
+    impostor = _SocketChannel(_connect(gate.address))
+    impostor.send(Envelope(kind=HELLO, sender="w0",
+                           payload={"token": "sesame", "worker_id": "w0",
+                                    "fingerprint": TINY.fingerprint()}))
+    handle = gate.launch(TINY, False, WorkerConfig(worker_id="w0"))
+    strangers = []
+    try:
+        assert handle.is_alive()  # the handle points at the real child
+        strangers = _pump_until(
+            gate, lambda peers: any(
+                hello.payload.get("worker_id") == "w0" for _c, hello in peers))
+        hello = strangers[0][1]
+        assert hello.payload.get("nonce") is None  # it is the impostor
+    finally:
+        handle.kill()
+        handle.channel.close()
+        for peer, _hello in strangers:
+            peer.close()
+        impostor.close()
+
+
+def test_minted_worker_ids_skip_remote_claims():
+    """Replacement launches must not reuse an id a remote peer already
+    holds -- an overwrite would orphan the incumbent's lease and hang
+    the sweep waiting for cells nobody owns."""
+    class _Shim:
+        _workers = {"w0": object(), "w2": object()}
+        _next_worker = 0
+
+    shim = _Shim()
+    assert Coordinator._mint_worker_id(shim) == "w1"
+    assert Coordinator._mint_worker_id(shim) == "w3"
+    assert shim._next_worker == 4
 
 
 # -- the CLI bootstrap -------------------------------------------------------

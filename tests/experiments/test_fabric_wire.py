@@ -18,11 +18,14 @@ import pytest
 from repro.errors import FabricError
 from repro.experiments.fabric.wire import (
     ASSIGN_CELLS,
+    HELLO,
     MAX_FRAME_BYTES,
     REQUEST_WORK,
     ChannelClosed,
     Envelope,
+    HandshakeInfo,
     _SocketChannel,
+    check_hello,
     restricted_loads,
 )
 
@@ -209,3 +212,24 @@ def test_restricted_loads_refuses_globals():
     blob = pickle.dumps(struct.Struct)  # any importable global
     with pytest.raises(pickle.UnpicklingError, match="plain data only"):
         restricted_loads(blob)
+
+
+# -- the HELLO token check, unit-level --------------------------------------
+
+
+def test_non_ascii_token_is_rejected_not_crashed():
+    """``hmac.compare_digest`` raises TypeError on non-ASCII str args,
+    and the HELLO token is attacker-supplied -- the gate must compare
+    bytes so a hostile token costs the peer admission, not the
+    coordinator its sweep."""
+    info = HandshakeInfo(token="sesame", scenario="s", fingerprint="f")
+    hello = Envelope(kind=HELLO, sender="?",
+                     payload={"token": "sésame€"})
+    assert check_hello(hello, info) == "bad token"
+
+
+def test_non_ascii_shared_secret_still_admits():
+    info = HandshakeInfo(token="sésame", scenario="s", fingerprint="f")
+    hello = Envelope(kind=HELLO, sender="?",
+                     payload={"token": "sésame", "fingerprint": "f"})
+    assert check_hello(hello, info) is None
